@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/liberation"
+)
+
+// TestListingsMatchLibrary checks that the CLI's output is exactly the
+// library's ExplainEncode/ExplainDecode output for the paper's example.
+func TestListingsMatchLibrary(t *testing.T) {
+	c, err := liberation.New(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc strings.Builder
+	c.ExplainEncode(&enc)
+	if !strings.Contains(enc.String(), "40 XORs = 2p(k-1)") {
+		t.Errorf("encode listing header: %q", firstLine(enc.String()))
+	}
+	var dec strings.Builder
+	if err := c.ExplainDecode(&dec, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dec.String(), "41 XORs; lower bound 40") {
+		t.Errorf("decode listing header: %q", firstLine(dec.String()))
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestMainSmoke runs the built binary once if the go tool is available;
+// skipped otherwise (the library paths above cover the logic).
+func TestMainSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	if os.Getenv("GOCACHE") == "" && os.Getenv("HOME") == "" {
+		t.Skip("no build cache available")
+	}
+	cmd := exec.Command("go", "run", ".", "-p", "3")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "k=3 p=3") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,168 @@
+// Command libbench regenerates the paper's evaluation artifacts: Table I,
+// the XOR-complexity figures (5-8) and the throughput figures (9-13).
+//
+// Usage:
+//
+//	libbench -all                 # everything (takes a few minutes)
+//	libbench -fig 7               # one figure
+//	libbench -table1              # Table I
+//	libbench -fig 10 -elem 8192   # a throughput figure at 8KB elements
+//	libbench -all -csv out/       # also write plotting-ready CSV files
+//	libbench -all -quick          # fast smoke pass with short timings
+//
+// XOR-count figures are exact and deterministic; throughput figures are
+// machine-dependent and reproduce the paper's relative claims (optimal >=
+// original everywhere, with the decoding gap growing with k).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/complexity"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 5..13, 'update', or 'all'")
+		table1  = flag.Bool("table1", false, "regenerate Table I")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		quick   = flag.Bool("quick", false, "short timings / reduced sweeps (smoke test)")
+		elem    = flag.Int("elem", 4096, "element size in bytes for throughput figures")
+		fixedP  = flag.Int("p", 31, "fixed prime for figures 6, 8, 11, 13")
+		minTime = flag.Duration("mintime", 100*time.Millisecond, "minimum time per throughput point")
+		csvDir  = flag.String("csv", "", "directory to also write per-figure CSV files into")
+	)
+	flag.Parse()
+
+	opt := benchutil.DefaultOptions()
+	opt.MinTime = *minTime
+	ksVary := rangeInts(2, 22)
+	ksFixed := rangeInts(2, 23)
+	ksThroughput := []int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22}
+	ksDecode := []int{5, 8, 11, 14, 17, 20, 23, 26, 29}
+	if *quick {
+		opt = benchutil.Quick()
+		ksVary = []int{2, 4, 8, 12}
+		ksFixed = []int{2, 8, 16, 23}
+		ksThroughput = []int{4, 8, 12}
+		ksDecode = []int{5, 11, 17}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	emitC := func(name string, f complexity.Figure) {
+		fmt.Println(f.Render())
+		writeCSV(name, f.CSV())
+	}
+	emitT := func(name string, f benchutil.ThroughputFigure) {
+		fmt.Println(f.Render())
+		writeCSV(name, f.CSV())
+	}
+
+	want := func(id string) bool {
+		return *all || *fig == "all" || *fig == id
+	}
+	ran := false
+
+	if *table1 || *all {
+		ran = true
+		fmt.Println(complexity.RenderTableI(complexity.TableI(10, 11), 10, 11))
+		fmt.Println(complexity.RenderTableI(complexity.TableI(20, 23), 20, 23))
+	}
+	if want("5") {
+		ran = true
+		emitC("fig5", complexity.EncodingFigure(ksVary, 0))
+	}
+	if want("6") {
+		ran = true
+		emitC("fig6", complexity.EncodingFigure(ksFixed, *fixedP))
+	}
+	if want("7") {
+		ran = true
+		emitC("fig7", complexity.DecodingFigure(ksVary, 0))
+	}
+	if want("8") {
+		ran = true
+		emitC("fig8", complexity.DecodingFigure(ksFixed, *fixedP))
+	}
+	if want("update") {
+		ran = true
+		emitC("update", complexity.UpdateFigure(ksVary, 0))
+	}
+	if want("9") {
+		ran = true
+		for _, p := range []int{5, 7, 11} {
+			emitT(fmt.Sprintf("fig9-p%d", p), benchutil.ElementSizeFigure(p, opt))
+		}
+	}
+	sweep := *all || *fig == "all"
+	if want("10") {
+		ran = true
+		for _, es := range elemSizes(*elem, sweep) {
+			emitT(fmt.Sprintf("fig10-%dk", es/1024),
+				benchutil.EncodeFigure(ksThroughput, 0, es, opt))
+		}
+	}
+	if want("11") {
+		ran = true
+		for _, es := range elemSizes(*elem, sweep) {
+			emitT(fmt.Sprintf("fig11-%dk", es/1024),
+				benchutil.EncodeFigure(ksThroughput, *fixedP, es, opt))
+		}
+	}
+	if want("12") {
+		ran = true
+		for _, es := range elemSizes(*elem, sweep) {
+			emitT(fmt.Sprintf("fig12-%dk", es/1024),
+				benchutil.DecodeFigure(ksDecode, 0, es, opt))
+		}
+	}
+	if want("13") {
+		ran = true
+		for _, es := range elemSizes(*elem, sweep) {
+			emitT(fmt.Sprintf("fig13-%dk", es/1024),
+				benchutil.DecodeFigure(ksDecode, *fixedP, es, opt))
+		}
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "nothing selected; use -all, -table1 or -fig N\n\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// elemSizes returns the element sizes to sweep: the paper reports
+// throughput figures at both 4KB and 8KB, so -all runs both.
+func elemSizes(flagValue int, both bool) []int {
+	if !both {
+		return []int{flagValue}
+	}
+	return []int{4096, 8192}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}

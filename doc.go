@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Optimal Encoding
+// and Decoding Algorithms for the RAID-6 Liberation Codes" (Huang, Jiang,
+// Shen, Che, Xiao, Li — IEEE IPDPS 2020).
+//
+// The implementation lives under internal/: the Liberation codes with
+// both the original bit-matrix-scheduled algorithms and the paper's
+// optimal Algorithms 1-4 (internal/liberation), the EVENODD and RDP
+// baselines, a Jerasure-equivalent bit-matrix substrate, a Reed-Solomon
+// P+Q baseline, a RAID-6 array simulator, and the experiment drivers that
+// regenerate every table and figure of the paper's evaluation. See
+// README.md, DESIGN.md and EXPERIMENTS.md, the runnable examples under
+// examples/, and the benchmarks in bench_test.go.
+package repro

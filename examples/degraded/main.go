@@ -1,0 +1,81 @@
+// Degraded array walkthrough: a simulated 10-disk RAID-6 array survives a
+// double disk failure — reads keep working through on-the-fly
+// reconstruction, and a rebuild restores full redundancy.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/liberation"
+	"repro/internal/raidsim"
+)
+
+func main() {
+	code, err := liberation.NewAuto(8) // 8 data disks + P + Q
+	if err != nil {
+		log.Fatal(err)
+	}
+	array, err := raidsim.New(code, 4096, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array: %d disks, %.1f MB usable\n",
+		array.NumDisks(), float64(array.Capacity())/(1<<20))
+
+	// Store a dataset.
+	rng := rand.New(rand.NewSource(7))
+	dataset := make([]byte, array.Capacity())
+	rng.Read(dataset)
+	if err := array.Write(0, dataset); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset written")
+
+	// Disk 3 dies; then, during the rebuild window, disk 7 dies too —
+	// the exact scenario RAID-6 exists for.
+	for _, d := range []int{3, 7} {
+		if err := array.FailDisk(d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("disk %d failed\n", d)
+	}
+
+	// Every read still succeeds, served by Algorithm 4 reconstructions.
+	got := make([]byte, 1<<20)
+	if err := array.Read(12345, got); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, dataset[12345:12345+len(got)]) {
+		log.Fatal("degraded read returned wrong data")
+	}
+	fmt.Printf("degraded 1 MB read OK (%d stripes reconstructed so far)\n",
+		array.Stats.DegradedReads)
+
+	// Writes keep working too.
+	patch := make([]byte, 100_000)
+	rng.Read(patch)
+	if err := array.Write(777, patch); err != nil {
+		log.Fatal(err)
+	}
+	copy(dataset[777:], patch)
+	fmt.Println("degraded 100 KB write OK")
+
+	// Replacement disks arrive; rebuild.
+	if err := array.Rebuild(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuild complete: %d stripes reconstructed, %d XOR block ops total\n",
+		array.Stats.StripesRebuilt, array.Stats.Ops.XORs)
+
+	full := make([]byte, array.Capacity())
+	if err := array.Read(0, full); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(full, dataset) {
+		log.Fatal("dataset damaged")
+	}
+	fmt.Println("full dataset verified bit-for-bit")
+}

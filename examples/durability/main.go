@@ -1,0 +1,62 @@
+// Durability: the quantitative version of the paper's opening argument.
+// We measure the real rebuild (decode) throughput of the Liberation code
+// on this machine, feed it into a Monte-Carlo failure/rebuild model, and
+// compare the 5-year data-loss probability of RAID-5 and RAID-6 arrays
+// built from large SATA disks — the configuration in which UREs during an
+// unprotected rebuild make RAID-5 untenable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/liberation"
+	"repro/internal/reliability"
+)
+
+func main() {
+	const k = 10
+	code, err := liberation.NewAuto(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure this machine's reconstruction throughput; a rebuild in a
+	// real array is further limited by disk bandwidth, so cap it.
+	gbps := benchutil.MeasureDecode(code, 4096, benchutil.Options{
+		MinTime: 150 * time.Millisecond, MaxPatterns: 8, Rounds: 2,
+	})
+	rebuildMBps := gbps * 1000
+	if rebuildMBps > 250 {
+		rebuildMBps = 250 // disk-limited, not XOR-limited
+	}
+	fmt.Printf("measured decode throughput: %.2f GB/s -> rebuild at %.0f MB/s (disk-capped)\n",
+		gbps, rebuildMBps)
+
+	params := reliability.Params{
+		Disks:        k + 2,
+		DiskTB:       16,
+		MTTFHours:    1.2e6,
+		RebuildMBps:  rebuildMBps,
+		UREPerBit:    1e-14, // SATA class
+		MissionYears: 5,
+	}
+	fmt.Printf("array: %d x %.0f TB disks, MTTF %.1fM hours, rebuild %.1f hours\n",
+		params.Disks, params.DiskTB, params.MTTFHours/1e6, params.RebuildHours())
+
+	const trials = 20000
+	raid5, raid6, err := reliability.CompareRAID5(params, trials, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n5-year data-loss probability (%d Monte-Carlo trials):\n", trials)
+	fmt.Printf("  RAID-5: %6.3f%%  (%d losses: %d by URE during rebuild, %d by second failure)\n",
+		100*raid5.LossProbability(), raid5.Losses, raid5.LossByURE, raid5.LossByDisks)
+	fmt.Printf("  RAID-6: %6.3f%%  (%d losses)\n",
+		100*raid6.LossProbability(), raid6.Losses)
+	if raid6.Losses == 0 {
+		fmt.Println("\nRAID-6 survived every trial: this is why it is displacing RAID-5.")
+	}
+}

@@ -1,0 +1,78 @@
+// Scrubbing walkthrough: silent data corruption — bit rot that no disk
+// reports — is injected into a healthy array and then located, attributed
+// to the right disk, and repaired using the paper's single-column error
+// correction.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/liberation"
+	"repro/internal/raidsim"
+)
+
+func main() {
+	code, err := liberation.New(6, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	array, err := raidsim.New(code, 1024, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	dataset := make([]byte, array.Capacity())
+	rng.Read(dataset)
+	if err := array.Write(0, dataset); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array of %d disks written (%d KB)\n",
+		array.NumDisks(), array.Capacity()>>10)
+
+	// Corrupt three different disks in three different stripes — the
+	// kind of damage a latent-sector-error scrub pass must catch. Note
+	// no disk reports an error: the data is simply wrong.
+	stripBytes := code.W() * array.ElemSize()
+	type hit struct{ disk, stripe int }
+	hits := []hit{{1, 2}, {4, 9}, {7, 14}}
+	for _, h := range hits {
+		if err := array.CorruptDisk(h.disk, h.stripe*stripBytes+33, 8, 0xa5); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("injected silent corruption: disk %d, stripe %d\n", h.disk, h.stripe)
+	}
+
+	// Scrub: recompute parities per stripe, localize the inconsistent
+	// column from the row/anti-diagonal discrepancy pattern, repair it.
+	results, err := array.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("scrub: stripe %2d -> repaired disk %d (logical strip %d)\n",
+			r.Stripe, r.Disk, r.Strip)
+	}
+	if len(results) != len(hits) {
+		log.Fatalf("scrub repaired %d stripes, want %d", len(results), len(hits))
+	}
+
+	// The array must be byte-identical to the original dataset again.
+	got := make([]byte, array.Capacity())
+	if err := array.Read(0, got); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, dataset) {
+		log.Fatal("data still corrupt after scrub")
+	}
+	fmt.Println("all corruption repaired; dataset verified bit-for-bit")
+
+	// A second scrub pass confirms a clean array.
+	results, err = array.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second scrub pass: %d findings (array clean)\n", len(results))
+}

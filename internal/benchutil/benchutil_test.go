@@ -1,0 +1,61 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureEncodePositive(t *testing.T) {
+	for _, variant := range []string{VariantOptimal, VariantOriginal} {
+		c, err := newVariant(variant, 5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gbps := MeasureEncode(c, 4*KB, Quick())
+		if gbps <= 0 {
+			t.Errorf("%s: throughput %.3f GB/s", variant, gbps)
+		}
+	}
+}
+
+func TestOptimalDecodeBeatsOriginal(t *testing.T) {
+	// The headline throughput claim (Figures 12/13): the optimal decoder
+	// is substantially faster than the bit-matrix-scheduled original,
+	// which redoes matrix inversion and scheduling on every call.
+	opt := Quick()
+	oc, _ := newVariant(VariantOptimal, 11, 11)
+	orig, _ := newVariant(VariantOriginal, 11, 11)
+	a := MeasureDecode(oc, 4*KB, opt)
+	b := MeasureDecode(orig, 4*KB, opt)
+	if a <= b {
+		t.Errorf("optimal decode %.3f GB/s not above original %.3f GB/s", a, b)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := EncodeFigure([]int{4, 5}, 0, 4*KB, Quick())
+	out := fig.Render()
+	if !strings.Contains(out, "Figure 10") || !strings.Contains(out, "optimal encoding") {
+		t.Errorf("render output:\n%s", out)
+	}
+	if len(fig.SeriesByName("optimal encoding").Points) != 2 {
+		t.Error("missing points in optimal series")
+	}
+	fig9 := ElementSizeFigure(5, Quick())
+	if !strings.Contains(fig9.Render(), "Figure 9") {
+		t.Error("figure 9 render broken")
+	}
+	fig13 := DecodeFigure([]int{5}, 31, 4*KB, Quick())
+	if !strings.Contains(fig13.Render(), "Figure 13") {
+		t.Error("figure 13 render broken")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	fig := EncodeFigure([]int{4}, 0, 4*KB, Quick())
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "optimal encoding") {
+		t.Errorf("CSV output:\n%s", csv)
+	}
+}

@@ -1,0 +1,42 @@
+package benchutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CSV renders the throughput figure as comma-separated values (GB/s), one
+// line per x value, ready for external plotting.
+func (f ThroughputFigure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.ReplaceAll(f.XLabel, ",", ";"))
+	for _, s := range f.Series {
+		sb.WriteByte(',')
+		sb.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	sb.WriteByte('\n')
+	xs := map[int]bool{}
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			xs[pt.X] = true
+		}
+	}
+	sorted := make([]int, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Ints(sorted)
+	for _, x := range sorted {
+		fmt.Fprintf(&sb, "%d", x)
+		for _, s := range f.Series {
+			if v, ok := lookupT(s, x); ok {
+				fmt.Fprintf(&sb, ",%.6f", v)
+			} else {
+				sb.WriteByte(',')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

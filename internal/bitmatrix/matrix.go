@@ -1,0 +1,267 @@
+// Package bitmatrix re-implements the bit-matrix erasure-coding machinery
+// of the Jerasure library (Plank et al., CS-08-627): GF(2) matrices,
+// Gauss-Jordan inversion, conversion of matrices into XOR schedules (both
+// "dumb" row-at-a-time schedules and "smart" incremental schedules), and a
+// schedule executor that runs over stripes of byte-block elements.
+//
+// The paper's "original" Liberation encoder and decoder are exactly this
+// machinery applied to the Liberation generator matrix; the same machinery
+// doubles as a correctness oracle for every other code in the repository
+// (any XOR code can be expressed as a generator bit-matrix).
+package bitmatrix
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ErrSingular is returned when a matrix has no inverse over GF(2) — for a
+// generator matrix this means the erasure pattern is not decodable.
+var ErrSingular = errors.New("bitmatrix: matrix is singular")
+
+// Matrix is a dense bit matrix over GF(2), stored row-major as 64-bit words.
+type Matrix struct {
+	R, C int
+	wpr  int // words per row
+	bits []uint64
+}
+
+// New returns a zero R x C matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("bitmatrix: negative dimension")
+	}
+	wpr := (c + 63) / 64
+	return &Matrix{R: r, C: c, wpr: wpr, bits: make([]uint64, r*wpr)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// Get returns the bit at (i, j).
+func (m *Matrix) Get(i, j int) bool {
+	return m.bits[i*m.wpr+j/64]&(1<<(uint(j)&63)) != 0
+}
+
+// Set assigns the bit at (i, j).
+func (m *Matrix) Set(i, j int, v bool) {
+	w := &m.bits[i*m.wpr+j/64]
+	mask := uint64(1) << (uint(j) & 63)
+	if v {
+		*w |= mask
+	} else {
+		*w &^= mask
+	}
+}
+
+// Flip toggles the bit at (i, j).
+func (m *Matrix) Flip(i, j int) {
+	m.bits[i*m.wpr+j/64] ^= 1 << (uint(j) & 63)
+}
+
+// row returns the word slice backing row i.
+func (m *Matrix) row(i int) []uint64 { return m.bits[i*m.wpr : (i+1)*m.wpr] }
+
+// RowOnes returns the number of set bits in row i.
+func (m *Matrix) RowOnes(i int) int {
+	n := 0
+	for _, w := range m.row(i) {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Ones returns the total number of set bits.
+func (m *Matrix) Ones() int {
+	n := 0
+	for _, w := range m.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// RowIndices returns the column indices of the set bits in row i, ascending.
+func (m *Matrix) RowIndices(i int) []int {
+	out := make([]int, 0, m.RowOnes(i))
+	for wi, w := range m.row(i) {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// RowDistance returns the Hamming distance between rows i of m and j of o.
+// The matrices must have equal column counts.
+func RowDistance(m *Matrix, i int, o *Matrix, j int) int {
+	if m.C != o.C {
+		panic("bitmatrix: column mismatch")
+	}
+	a, b := m.row(i), o.row(j)
+	n := 0
+	for w := range a {
+		n += bits.OnesCount64(a[w] ^ b[w])
+	}
+	return n
+}
+
+// XorRows sets row dst ^= row src (both in m).
+func (m *Matrix) XorRows(dst, src int) {
+	d, s := m.row(dst), m.row(src)
+	for w := range d {
+		d[w] ^= s[w]
+	}
+}
+
+// SwapRows exchanges two rows.
+func (m *Matrix) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	a, b := m.row(i), m.row(j)
+	for w := range a {
+		a[w], b[w] = b[w], a[w]
+	}
+}
+
+// CopyRowFrom copies row src of o into row dst of m.
+func (m *Matrix) CopyRowFrom(dst int, o *Matrix, src int) {
+	copy(m.row(dst), o.row(src))
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.R, m.C)
+	copy(c.bits, m.bits)
+	return c
+}
+
+// Equal reports whether two matrices are identical.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.R != o.R || m.C != o.C {
+		return false
+	}
+	for i := range m.bits {
+		if m.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns m * o over GF(2). m.C must equal o.R.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.C != o.R {
+		panic(fmt.Sprintf("bitmatrix: mul shape %dx%d * %dx%d", m.R, m.C, o.R, o.C))
+	}
+	out := New(m.R, o.C)
+	for i := 0; i < m.R; i++ {
+		dst := out.row(i)
+		for _, j := range m.RowIndices(i) {
+			src := o.row(j)
+			for w := range dst {
+				dst[w] ^= src[w]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec multiplies m by a bit vector (given as []bool of length m.C) and
+// returns the resulting vector of length m.R. Used by tests as an oracle.
+func (m *Matrix) MulVec(v []bool) []bool {
+	if len(v) != m.C {
+		panic("bitmatrix: vector length mismatch")
+	}
+	out := make([]bool, m.R)
+	for i := 0; i < m.R; i++ {
+		acc := false
+		for _, j := range m.RowIndices(i) {
+			acc = acc != v[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Invert returns the inverse of a square matrix over GF(2), or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.R != m.C {
+		return nil, fmt.Errorf("bitmatrix: cannot invert %dx%d matrix", m.R, m.C)
+	}
+	n := m.R
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.Get(r, col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		a.SwapRows(col, pivot)
+		inv.SwapRows(col, pivot)
+		for r := 0; r < n; r++ {
+			if r != col && a.Get(r, col) {
+				a.XorRows(r, col)
+				inv.XorRows(r, col)
+			}
+		}
+	}
+	return inv, nil
+}
+
+// VStack returns the matrix whose rows are m's rows followed by o's rows.
+func VStack(m, o *Matrix) *Matrix {
+	if m.C != o.C {
+		panic("bitmatrix: vstack column mismatch")
+	}
+	out := New(m.R+o.R, m.C)
+	for i := 0; i < m.R; i++ {
+		out.CopyRowFrom(i, m, i)
+	}
+	for i := 0; i < o.R; i++ {
+		out.CopyRowFrom(m.R+i, o, i)
+	}
+	return out
+}
+
+// SelectRows returns a new matrix made of the given rows of m, in order.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	out := New(len(rows), m.C)
+	for i, r := range rows {
+		out.CopyRowFrom(i, m, r)
+	}
+	return out
+}
+
+// String renders the matrix as 0/1 text, one row per line.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.Get(i, j) {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

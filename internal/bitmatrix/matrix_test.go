@@ -1,0 +1,155 @@
+package bitmatrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Intn(2) == 1 {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+func TestGetSetFlip(t *testing.T) {
+	m := New(3, 130) // spans three words per row
+	m.Set(1, 0, true)
+	m.Set(1, 64, true)
+	m.Set(1, 129, true)
+	if !m.Get(1, 0) || !m.Get(1, 64) || !m.Get(1, 129) || m.Get(1, 1) {
+		t.Fatal("Get/Set broken across word boundaries")
+	}
+	if m.RowOnes(1) != 3 || m.Ones() != 3 {
+		t.Fatal("counting broken")
+	}
+	m.Flip(1, 64)
+	if m.Get(1, 64) || m.RowOnes(1) != 2 {
+		t.Fatal("Flip broken")
+	}
+	idx := m.RowIndices(1)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 129 {
+		t.Fatalf("RowIndices = %v", idx)
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 16, 33, 64, 100} {
+		// Build a random invertible matrix by multiplying elementary ops
+		// into the identity.
+		m := Identity(n)
+		for step := 0; step < 4*n; step++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				m.XorRows(i, j)
+			}
+			m.SwapRows(rng.Intn(n), rng.Intn(n))
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !m.Mul(inv).Equal(Identity(n)) || !inv.Mul(m).Equal(Identity(n)) {
+			t.Fatalf("n=%d: inverse wrong", n)
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := New(3, 3)
+	m.Set(0, 0, true)
+	m.Set(1, 1, true)
+	m.Set(2, 0, true) // row 2 duplicates row 0
+	m.Set(2, 1, true) // ... plus row 1
+	m.XorRows(2, 0)
+	m.XorRows(2, 1)
+	if _, err := m.Invert(); err == nil {
+		t.Error("inverted a singular matrix")
+	}
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 7, 9)
+	v := make([]bool, 9)
+	for i := range v {
+		v[i] = rng.Intn(2) == 1
+	}
+	// Represent v as a 9x1 matrix and compare.
+	vm := New(9, 1)
+	for i, b := range v {
+		vm.Set(i, 0, b)
+	}
+	want := a.Mul(vm)
+	got := a.MulVec(v)
+	for i := range got {
+		if got[i] != want.Get(i, 0) {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestRowDistanceAndStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 4, 70)
+	b := randomMatrix(rng, 3, 70)
+	st := VStack(a, b)
+	if st.R != 7 || st.C != 70 {
+		t.Fatal("VStack shape wrong")
+	}
+	for i := 0; i < 4; i++ {
+		if RowDistance(st, i, a, i) != 0 {
+			t.Fatal("VStack copied rows wrong (a part)")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if RowDistance(st, 4+i, b, i) != 0 {
+			t.Fatal("VStack copied rows wrong (b part)")
+		}
+	}
+	sel := st.SelectRows([]int{6, 0})
+	if RowDistance(sel, 0, b, 2) != 0 || RowDistance(sel, 1, a, 0) != 0 {
+		t.Fatal("SelectRows wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := New(2, 3)
+	m.Set(0, 1, true)
+	m.Set(1, 2, true)
+	if m.String() != "010\n001\n" {
+		t.Fatalf("String() = %q", m.String())
+	}
+}
+
+func TestMulPropertiesQuick(t *testing.T) {
+	// Associativity of matrix multiplication over GF(2) on random small
+	// matrices, via testing/quick-style randomized sweeps.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(12)
+		q := 1 + rng.Intn(12)
+		r := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, m)
+		b := randomMatrix(rng, m, q)
+		c := randomMatrix(rng, q, r)
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			t.Fatalf("(AB)C != A(BC) at trial %d", trial)
+		}
+	}
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 9, 13)
+	if !Identity(9).Mul(a).Equal(a) || !a.Mul(Identity(13)).Equal(a) {
+		t.Error("identity is not neutral for Mul")
+	}
+}

@@ -1,0 +1,172 @@
+// Package codetest is a conformance battery for core.Code
+// implementations: any RAID-6 code in this repository (and any future
+// one) must encode deterministically, behave linearly over GF(2), map
+// zero data to zero parity, survive every one- and two-strip erasure,
+// fully overwrite whatever garbage sits in erased strips, and — when it
+// supports small writes — keep parity consistent under random updates.
+// Each code package runs this battery from a one-line test.
+package codetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xorblk"
+)
+
+// Run executes the full conformance battery against the code.
+func Run(t *testing.T, code core.Code) {
+	t.Helper()
+	t.Run("deterministic", func(t *testing.T) { deterministic(t, code) })
+	t.Run("linear", func(t *testing.T) { linear(t, code) })
+	t.Run("zero", func(t *testing.T) { zero(t, code) })
+	t.Run("erasures", func(t *testing.T) { erasures(t, code) })
+	t.Run("garbage-tolerant", func(t *testing.T) { garbage(t, code) })
+	t.Run("rejects-overload", func(t *testing.T) { overload(t, code) })
+	if u, ok := code.(core.Updater); ok {
+		t.Run("updates", func(t *testing.T) { updates(t, code, u) })
+	}
+}
+
+func freshStripe(code core.Code, seed int64) *core.Stripe {
+	s := core.NewStripe(code.K(), code.W(), 16)
+	s.FillRandom(rand.New(rand.NewSource(seed)))
+	return s
+}
+
+func deterministic(t *testing.T, code core.Code) {
+	a := freshStripe(code, 1)
+	b := a.Clone()
+	if err := code.Encode(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := code.Encode(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("two encodings of identical data differ")
+	}
+	// Re-encoding an already encoded stripe must be idempotent.
+	c := a.Clone()
+	if err := code.Encode(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(c) {
+		t.Error("re-encoding changed the parities")
+	}
+}
+
+func linear(t *testing.T, code core.Code) {
+	a := freshStripe(code, 2)
+	b := freshStripe(code, 3)
+	sum := core.NewStripe(code.K(), code.W(), 16)
+	for col := 0; col < code.K(); col++ {
+		xorblk.Xor(sum.Strips[col], a.Strips[col], b.Strips[col])
+	}
+	for _, s := range []*core.Stripe{a, b, sum} {
+		if err := code.Encode(s, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for col := code.K(); col < code.K()+2; col++ {
+		want := make([]byte, len(sum.Strips[col]))
+		xorblk.Xor(want, a.Strips[col], b.Strips[col])
+		if string(want) != string(sum.Strips[col]) {
+			t.Errorf("parity strip %d is not linear", col)
+		}
+	}
+}
+
+func zero(t *testing.T, code core.Code) {
+	s := core.NewStripe(code.K(), code.W(), 16)
+	rand.New(rand.NewSource(4)).Read(s.Strips[code.K()]) // pre-existing garbage
+	rand.New(rand.NewSource(5)).Read(s.Strips[code.K()+1])
+	if err := code.Encode(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !xorblk.IsZero(s.Strips[code.K()]) || !xorblk.IsZero(s.Strips[code.K()+1]) {
+		t.Error("zero data produced nonzero parity")
+	}
+}
+
+func erasures(t *testing.T, code core.Code) {
+	orig := freshStripe(code, 6)
+	if err := code.Encode(orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	patterns := core.ErasurePairs(code.K() + 2)
+	for e := 0; e < code.K()+2; e++ {
+		patterns = append(patterns, [2]int{e, e})
+	}
+	for _, pat := range patterns {
+		s := orig.Clone()
+		erased := []int{pat[0], pat[1]}
+		if pat[0] == pat[1] {
+			erased = erased[:1]
+		}
+		for _, e := range erased {
+			s.ZeroStrip(e)
+		}
+		if err := code.Decode(s, erased, nil); err != nil {
+			t.Fatalf("erased %v: %v", erased, err)
+		}
+		if !s.Equal(orig) {
+			t.Errorf("erased %v: stripe not restored", erased)
+		}
+	}
+}
+
+func garbage(t *testing.T, code core.Code) {
+	// Erased strips may contain arbitrary bytes, not just zeros.
+	orig := freshStripe(code, 7)
+	if err := code.Encode(orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := orig.Clone()
+	rand.New(rand.NewSource(8)).Read(s.Strips[0])
+	rand.New(rand.NewSource(9)).Read(s.Strips[code.K()+1])
+	if err := code.Decode(s, []int{0, code.K() + 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(orig) {
+		t.Error("decode assumed zeroed erasure buffers")
+	}
+}
+
+func overload(t *testing.T, code core.Code) {
+	s := freshStripe(code, 10)
+	if err := code.Decode(s, []int{0, 1, 2}, nil); err == nil {
+		t.Error("three erasures accepted")
+	}
+	if err := code.Decode(s, []int{-1}, nil); err == nil {
+		t.Error("negative strip index accepted")
+	}
+	if err := code.Decode(s, []int{code.K() + 2}, nil); err == nil {
+		t.Error("out-of-range strip index accepted")
+	}
+}
+
+func updates(t *testing.T, code core.Code, u core.Updater) {
+	s := freshStripe(code, 11)
+	if err := code.Encode(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		col := rng.Intn(code.K())
+		row := rng.Intn(code.W())
+		old := append([]byte(nil), s.Elem(col, row)...)
+		rng.Read(s.Elem(col, row))
+		if _, err := u.Update(s, col, row, old, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.Clone()
+	if err := code.Encode(want, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(want) {
+		t.Error("parities inconsistent after a run of small writes")
+	}
+}

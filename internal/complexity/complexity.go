@@ -1,0 +1,231 @@
+// Package complexity regenerates the paper's XOR-count experiments:
+// normalized encoding complexity (Figures 5 and 6), normalized decoding
+// complexity averaged over all possible erasure patterns (Figures 7 and
+// 8), the characteristics summary (Table I), and the update-complexity
+// comparison the introduction cites. All numbers are exact operation
+// counts obtained by running the real encoders/decoders in counting mode
+// on 8-byte elements — nothing is estimated from formulas.
+package complexity
+
+import (
+	"fmt"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/core"
+	"repro/internal/evenodd"
+	"repro/internal/liberation"
+	"repro/internal/rdp"
+)
+
+// Point is one (k, value) sample of a series.
+type Point struct {
+	K     int
+	Value float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure: several series over k.
+type Figure struct {
+	ID     string
+	Title  string
+	YLabel string
+	Series []Series
+}
+
+// The four codes compared in Figures 5-8, in the paper's legend order.
+const (
+	SeriesEVENODD            = "EVENODD"
+	SeriesRDP                = "RDP"
+	SeriesLiberationOriginal = "Liberation(original)"
+	SeriesLiberationOptimal  = "Liberation(optimal)"
+)
+
+// codeUnderTest bundles a constructed code with its stripe shape.
+type codeUnderTest struct {
+	code  core.Code
+	w     int
+	prime int
+}
+
+// build constructs one of the four compared codes for the given k. When
+// fixedP is zero, p varies with k (the paper's case (a)): the smallest
+// usable prime for each code. RDP cannot reach k = p at fixed p; build
+// returns ok=false where a configuration is undefined.
+func build(series string, k, fixedP int) (codeUnderTest, bool) {
+	switch series {
+	case SeriesEVENODD:
+		p := fixedP
+		if p == 0 {
+			p = core.NextOddPrime(k)
+		}
+		if k > p {
+			return codeUnderTest{}, false
+		}
+		c, err := evenodd.New(k, p)
+		if err != nil {
+			return codeUnderTest{}, false
+		}
+		return codeUnderTest{c, p - 1, p}, true
+	case SeriesRDP:
+		p := fixedP
+		if p == 0 {
+			p = core.NextOddPrime(k + 1)
+		}
+		if k > p-1 {
+			return codeUnderTest{}, false
+		}
+		c, err := rdp.New(k, p)
+		if err != nil {
+			return codeUnderTest{}, false
+		}
+		return codeUnderTest{c, p - 1, p}, true
+	case SeriesLiberationOriginal:
+		p := fixedP
+		if p == 0 {
+			p = core.NextOddPrime(k)
+		}
+		if k > p {
+			return codeUnderTest{}, false
+		}
+		c, err := liberation.NewOriginal(k, p)
+		if err != nil {
+			return codeUnderTest{}, false
+		}
+		c.CacheDecodeSchedules = true
+		return codeUnderTest{c, p, p}, true
+	case SeriesLiberationOptimal:
+		p := fixedP
+		if p == 0 {
+			p = core.NextOddPrime(k)
+		}
+		if k > p {
+			return codeUnderTest{}, false
+		}
+		c, err := liberation.New(k, p)
+		if err != nil {
+			return codeUnderTest{}, false
+		}
+		return codeUnderTest{c, p, p}, true
+	}
+	panic("complexity: unknown series " + series)
+}
+
+// EncodeXORs counts the element XORs of one stripe encoding.
+func EncodeXORs(cut codeUnderTest) int {
+	s := core.NewStripe(cut.code.K(), cut.w, 8)
+	var ops core.Ops
+	if err := cut.code.Encode(s, &ops); err != nil {
+		panic(err)
+	}
+	return int(ops.XORs)
+}
+
+// DecodeXORsAvg counts the element XORs of decoding, averaged over all the
+// possible erasure patterns (every pair of the k+2 strips), exactly as the
+// paper's Section IV-A describes.
+func DecodeXORsAvg(cut codeUnderTest) float64 {
+	k := cut.code.K()
+	s := core.NewStripe(k, cut.w, 8)
+	if err := cut.code.Encode(s, nil); err != nil {
+		panic(err)
+	}
+	total, cnt := 0, 0
+	for _, pat := range core.ErasurePairs(k + 2) {
+		// Schedule-based codes expose exact costs without element work.
+		if bc, ok := cut.code.(*bitmatrix.Code); ok {
+			sch, err := bc.DecodeSchedule(pat[:])
+			if err != nil {
+				panic(err)
+			}
+			total += sch.XORCount()
+			cnt++
+			continue
+		}
+		work := s.Clone()
+		var ops core.Ops
+		if err := cut.code.Decode(work, pat[:], &ops); err != nil {
+			panic(err)
+		}
+		total += int(ops.XORs)
+		cnt++
+	}
+	return float64(total) / float64(cnt)
+}
+
+// normalize converts a total XOR count into the paper's normalized
+// complexity: XORs per produced bit, divided by the k-1 lower bound.
+func normalize(xors float64, bits, k int) float64 {
+	return xors / float64(bits) / float64(k-1)
+}
+
+// EncodingFigure reproduces Figure 5 (fixedP == 0, p varying with k) or
+// Figure 6 (fixedP == 31 in the paper).
+func EncodingFigure(ks []int, fixedP int) Figure {
+	fig := Figure{
+		ID:     figID("5", "6", fixedP),
+		Title:  figTitle("Normalized encoding complexities", fixedP),
+		YLabel: "Encoding complexity normalized to the optimal",
+	}
+	for _, name := range []string{SeriesEVENODD, SeriesRDP, SeriesLiberationOriginal, SeriesLiberationOptimal} {
+		series := Series{Name: name}
+		for _, k := range ks {
+			if k < 2 {
+				continue
+			}
+			cut, ok := build(name, k, fixedP)
+			if !ok {
+				continue
+			}
+			xors := EncodeXORs(cut)
+			series.Points = append(series.Points,
+				Point{K: k, Value: normalize(float64(xors), 2*cut.w, k)})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}
+
+// DecodingFigure reproduces Figure 7 (fixedP == 0) or Figure 8 (p = 31).
+func DecodingFigure(ks []int, fixedP int) Figure {
+	fig := Figure{
+		ID:     figID("7", "8", fixedP),
+		Title:  figTitle("Normalized decoding complexities", fixedP),
+		YLabel: "Decoding complexity normalized to the optimal",
+	}
+	for _, name := range []string{SeriesEVENODD, SeriesRDP, SeriesLiberationOriginal, SeriesLiberationOptimal} {
+		series := Series{Name: name}
+		for _, k := range ks {
+			if k < 2 {
+				continue
+			}
+			cut, ok := build(name, k, fixedP)
+			if !ok {
+				continue
+			}
+			avg := DecodeXORsAvg(cut)
+			series.Points = append(series.Points,
+				Point{K: k, Value: normalize(avg, 2*cut.w, k)})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}
+
+func figID(varying, fixed string, fixedP int) string {
+	if fixedP == 0 {
+		return varying
+	}
+	return fixed
+}
+
+func figTitle(base string, fixedP int) string {
+	if fixedP == 0 {
+		return base + " (p varying with k)"
+	}
+	return fmt.Sprintf("%s (p = %d)", base, fixedP)
+}

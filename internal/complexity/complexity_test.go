@@ -1,0 +1,205 @@
+package complexity
+
+import (
+	"strings"
+	"testing"
+)
+
+func seriesByName(f Figure, name string) Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return Series{}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	ks := []int{2, 4, 6, 8, 10, 12}
+	fig := EncodingFigure(ks, 0)
+	opt := seriesByName(fig, SeriesLiberationOptimal)
+	orig := seriesByName(fig, SeriesLiberationOriginal)
+	eo := seriesByName(fig, SeriesEVENODD)
+	rdpS := seriesByName(fig, SeriesRDP)
+	if len(opt.Points) != len(ks) {
+		t.Fatalf("optimal series has %d points", len(opt.Points))
+	}
+	for i, pt := range opt.Points {
+		// The headline claim: the optimal encoder reaches the lower bound
+		// for every k.
+		if pt.Value != 1.0 {
+			t.Errorf("k=%d: Liberation(optimal) encoding = %.4f, want exactly 1", pt.K, pt.Value)
+		}
+		// Original is strictly above optimal: 1 + 1/(2p).
+		if orig.Points[i].Value <= pt.Value {
+			t.Errorf("k=%d: original (%.4f) not above optimal", pt.K, orig.Points[i].Value)
+		}
+		if orig.Points[i].Value > 1.2 {
+			t.Errorf("k=%d: original encoding %.4f implausibly high", pt.K, orig.Points[i].Value)
+		}
+	}
+	// EVENODD is the worst encoder in this figure for k >= 4.
+	for i, pt := range eo.Points {
+		if pt.K >= 4 && pt.Value <= orig.Points[i].Value {
+			t.Errorf("k=%d: EVENODD (%.4f) should exceed Liberation original (%.4f)",
+				pt.K, pt.Value, orig.Points[i].Value)
+		}
+	}
+	// RDP is optimal at k = p-1: k=4 (p=5), k=6 (p=7), k=10 (p=11), k=12 (p=13).
+	for _, pt := range rdpS.Points {
+		if pt.K == 4 || pt.K == 6 || pt.K == 10 || pt.K == 12 {
+			if pt.Value != 1.0 {
+				t.Errorf("k=%d: RDP encoding = %.4f, want 1 (k=p-1)", pt.K, pt.Value)
+			}
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	ks := []int{2, 4, 8, 12, 16, 20, 23}
+	fig := EncodingFigure(ks, 31)
+	opt := seriesByName(fig, SeriesLiberationOptimal)
+	orig := seriesByName(fig, SeriesLiberationOriginal)
+	eo := seriesByName(fig, SeriesEVENODD)
+	for _, pt := range opt.Points {
+		if pt.Value != 1.0 {
+			t.Errorf("k=%d: optimal encoding at p=31 = %.4f, want 1", pt.K, pt.Value)
+		}
+	}
+	// "the curves of the Liberation codes are flat": original is
+	// 1 + 1/62 for every k.
+	for _, pt := range orig.Points {
+		if pt.Value < 1.015 || pt.Value > 1.017 {
+			t.Errorf("k=%d: original encoding at p=31 = %.4f, want ~1.0161", pt.K, pt.Value)
+		}
+	}
+	// EVENODD/RDP "increase substantially as k shrinks".
+	small, _ := lookup(eo, 4)
+	large, _ := lookup(eo, 23)
+	if small <= large {
+		t.Errorf("EVENODD at p=31: k=4 (%.4f) should exceed k=23 (%.4f)", small, large)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	ks := []int{4, 6, 8, 10}
+	fig := DecodingFigure(ks, 0)
+	opt := seriesByName(fig, SeriesLiberationOptimal)
+	orig := seriesByName(fig, SeriesLiberationOriginal)
+	for i, pt := range opt.Points {
+		// Proposed decoding is very close to the bound...
+		if pt.Value > 1.07 {
+			t.Errorf("k=%d: optimal decoding %.4f above 1.07", pt.K, pt.Value)
+		}
+		// ...and 10-20%+ below the original (paper: 15-20%).
+		ratio := orig.Points[i].Value / pt.Value
+		if ratio < 1.05 {
+			t.Errorf("k=%d: original/optimal decode ratio %.3f < 1.05 (orig %.4f opt %.4f)",
+				pt.K, ratio, orig.Points[i].Value, pt.Value)
+		}
+	}
+	// Original sits in the paper's 1.10-1.20 band (roughly) for larger k.
+	for _, pt := range orig.Points {
+		if pt.K >= 6 && (pt.Value < 1.05 || pt.Value > 1.30) {
+			t.Errorf("k=%d: original decoding %.4f outside [1.05, 1.30]", pt.K, pt.Value)
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows := TableI(10, 11)
+	if len(rows) != 4 {
+		t.Fatalf("TableI has %d rows", len(rows))
+	}
+	byName := map[string]TableRow{}
+	for _, r := range rows {
+		byName[r.Code] = r
+		if r.StorageOverhead != 2 {
+			t.Errorf("%s: storage overhead %d, want 2 (MDS)", r.Code, r.StorageOverhead)
+		}
+	}
+	// Update complexity: Liberation ~2, EVENODD/RDP ~3 (Table I).
+	lib := byName["Liberation(optimal)"].UpdateComplexity
+	if lib < 2.0 || lib > 2.2 {
+		t.Errorf("Liberation update complexity %.3f, want ~2", lib)
+	}
+	for _, name := range []string{"EVENODD", "RDP"} {
+		u := byName[name].UpdateComplexity
+		if u < 2.5 || u > 3.5 {
+			t.Errorf("%s update complexity %.3f, want ~3", name, u)
+		}
+	}
+	// Optimal encoding reaches the bound; EVENODD does not.
+	if byName["Liberation(optimal)"].EncodingComplexity != 1.0 {
+		t.Error("Liberation(optimal) encoding complexity must be exactly 1")
+	}
+	if byName["EVENODD"].EncodingComplexity <= 1.0 {
+		t.Error("EVENODD encoding complexity must exceed 1")
+	}
+	out := RenderTableI(rows, 10, 11)
+	if !strings.Contains(out, "Liberation(optimal)") || !strings.Contains(out, "Lower bound") {
+		t.Error("RenderTableI output incomplete")
+	}
+}
+
+func TestUpdateFigure(t *testing.T) {
+	fig := UpdateFigure([]int{4, 8, 12}, 0)
+	lib := seriesByName(fig, SeriesLiberationOptimal)
+	eo := seriesByName(fig, SeriesEVENODD)
+	for i, pt := range lib.Points {
+		if pt.Value >= eo.Points[i].Value {
+			t.Errorf("k=%d: Liberation update (%.3f) should beat EVENODD (%.3f)",
+				pt.K, pt.Value, eo.Points[i].Value)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	fig := EncodingFigure([]int{2, 3}, 0)
+	out := fig.Render()
+	for _, want := range []string{"Figure 5", "EVENODD", "RDP", "Liberation(optimal)", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	fig := EncodingFigure([]int{2, 3}, 0)
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "k,EVENODD,RDP,") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2,") {
+		t.Errorf("CSV row %q", lines[1])
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	// p fixed at 13 keeps the inversion sweep quick while preserving the
+	// figure's structure: EVENODD/RDP degrade as k shrinks, the original
+	// stays ~10-15% over the bound, the optimal within a few percent.
+	ks := []int{3, 6, 9, 12}
+	fig := DecodingFigure(ks, 13)
+	eo := seriesByName(fig, SeriesEVENODD)
+	orig := seriesByName(fig, SeriesLiberationOriginal)
+	opt := seriesByName(fig, SeriesLiberationOptimal)
+	small, _ := lookup(eo, 3)
+	large, _ := lookup(eo, 12)
+	if small <= large {
+		t.Errorf("EVENODD at p=13: k=3 (%.4f) should exceed k=12 (%.4f)", small, large)
+	}
+	for i, pt := range opt.Points {
+		if pt.Value > 1.06 {
+			t.Errorf("k=%d: optimal decode at p=13 = %.4f, want <= 1.06", pt.K, pt.Value)
+		}
+		if orig.Points[i].Value <= pt.Value {
+			t.Errorf("k=%d: original (%.4f) not above optimal (%.4f)",
+				pt.K, orig.Points[i].Value, pt.Value)
+		}
+	}
+}

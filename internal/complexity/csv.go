@@ -1,0 +1,42 @@
+package complexity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CSV renders the figure as comma-separated values with a header row —
+// one line per k, one column per series — ready for external plotting.
+func (f Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("k")
+	for _, s := range f.Series {
+		sb.WriteByte(',')
+		sb.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	sb.WriteByte('\n')
+	ks := map[int]bool{}
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			ks[pt.K] = true
+		}
+	}
+	sorted := make([]int, 0, len(ks))
+	for k := range ks {
+		sorted = append(sorted, k)
+	}
+	sort.Ints(sorted)
+	for _, k := range sorted {
+		fmt.Fprintf(&sb, "%d", k)
+		for _, s := range f.Series {
+			if v, ok := lookup(s, k); ok {
+				fmt.Fprintf(&sb, ",%.6f", v)
+			} else {
+				sb.WriteByte(',')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package complexity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render formats the figure as an aligned text table, one row per k and
+// one column per series — the same data the paper plots.
+func (f Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "%s\n", f.YLabel)
+
+	ks := map[int]bool{}
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			ks[pt.K] = true
+		}
+	}
+	sorted := make([]int, 0, len(ks))
+	for k := range ks {
+		sorted = append(sorted, k)
+	}
+	sort.Ints(sorted)
+
+	fmt.Fprintf(&sb, "%4s", "k")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %22s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for _, k := range sorted {
+		fmt.Fprintf(&sb, "%4d", k)
+		for _, s := range f.Series {
+			v, ok := lookup(s, k)
+			if !ok {
+				fmt.Fprintf(&sb, " %22s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %22.4f", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func lookup(s Series, k int) (float64, bool) {
+	for _, pt := range s.Points {
+		if pt.K == k {
+			return pt.Value, true
+		}
+	}
+	return 0, false
+}
+
+// RenderTableI formats the Table I reproduction.
+func RenderTableI(rows []TableRow, k, p int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: measured characteristics at k=%d, p=%d\n", k, p)
+	fmt.Fprintf(&sb, "%-22s %-5s %-10s %-8s %-10s %-10s %-8s\n",
+		"Code", "w", "k limit", "storage", "enc(norm)", "dec(norm)", "update")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %-5s %-10s %-8d %-10.4f %-10.4f %-8.4f\n",
+			r.Code, r.W, r.KRestriction, r.StorageOverhead,
+			r.EncodingComplexity, r.DecodingComplexity, r.UpdateComplexity)
+	}
+	fmt.Fprintf(&sb, "%-22s %-5s %-10s %-8d %-10.4f %-10.4f %-8.4f\n",
+		"Lower bound", "-", "-", 2, 1.0, 1.0, 2.0)
+	return sb.String()
+}

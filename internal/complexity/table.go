@@ -1,0 +1,111 @@
+package complexity
+
+import (
+	"repro/internal/core"
+	"repro/internal/evenodd"
+	"repro/internal/liberation"
+	"repro/internal/rdp"
+)
+
+// TableRow is one code's measured characteristics for Table I.
+type TableRow struct {
+	Code               string
+	W                  string // column height as a function of p
+	KRestriction       string
+	StorageOverhead    int     // redundant strips
+	EncodingComplexity float64 // normalized, measured at the given k and p
+	DecodingComplexity float64 // normalized, averaged over all patterns
+	UpdateComplexity   float64 // average parity bits touched per data bit
+}
+
+// TableI reproduces the paper's Table I at a concrete (k, p): the
+// qualitative columns come from each construction, the quantitative ones
+// are measured from the implementations.
+func TableI(k, p int) []TableRow {
+	rows := []TableRow{
+		{Code: "EVENODD", W: "p-1", KRestriction: "k <= p"},
+		{Code: "RDP", W: "p-1", KRestriction: "k <= p-1"},
+		{Code: "Liberation(original)", W: "p", KRestriction: "k <= p"},
+		{Code: "Liberation(optimal)", W: "p", KRestriction: "k <= p"},
+	}
+	names := []string{SeriesEVENODD, SeriesRDP, SeriesLiberationOriginal, SeriesLiberationOptimal}
+	for i, name := range names {
+		rows[i].StorageOverhead = 2
+		cut, ok := build(name, k, p)
+		if !ok {
+			continue
+		}
+		rows[i].EncodingComplexity = normalize(float64(EncodeXORs(cut)), 2*cut.w, k)
+		rows[i].DecodingComplexity = normalize(DecodeXORsAvg(cut), 2*cut.w, k)
+		rows[i].UpdateComplexity = UpdateComplexity(name, k, p)
+	}
+	return rows
+}
+
+// UpdateComplexity returns the average number of parity bits that must be
+// updated when one data bit changes — the mean column weight of the
+// code's generator matrix. The theoretical lower bound for a 2-erasure
+// code is 2; Liberation attains it asymptotically, EVENODD and RDP sit
+// near 3 because of the S term and the P-through-Q coupling respectively.
+func UpdateComplexity(series string, k, p int) float64 {
+	var ones, bits int
+	switch series {
+	case SeriesEVENODD:
+		c, err := evenodd.New(k, p)
+		if err != nil {
+			return 0
+		}
+		g := c.Generator()
+		ones, bits = g.Ones(), g.C
+	case SeriesRDP:
+		c, err := rdp.New(k, p)
+		if err != nil {
+			return 0
+		}
+		g := c.Generator()
+		ones, bits = g.Ones(), g.C
+	case SeriesLiberationOriginal, SeriesLiberationOptimal:
+		c, err := liberation.New(k, p)
+		if err != nil {
+			return 0
+		}
+		g := c.Generator()
+		ones, bits = g.Ones(), g.C
+	default:
+		return 0
+	}
+	return float64(ones) / float64(bits)
+}
+
+// UpdateFigure compares update complexities across k for the three array
+// codes (the paper states Liberation ~= 2, EVENODD and RDP ~= 3).
+func UpdateFigure(ks []int, fixedP int) Figure {
+	fig := Figure{
+		ID:     "update",
+		Title:  figTitle("Update complexity (parity bits per data bit)", fixedP),
+		YLabel: "Average parity updates",
+	}
+	for _, name := range []string{SeriesEVENODD, SeriesRDP, SeriesLiberationOptimal} {
+		series := Series{Name: name}
+		for _, k := range ks {
+			if k < 2 {
+				continue
+			}
+			p := fixedP
+			if p == 0 {
+				if name == SeriesRDP {
+					p = core.NextOddPrime(k + 1)
+				} else {
+					p = core.NextOddPrime(k)
+				}
+			}
+			v := UpdateComplexity(name, k, p)
+			if v == 0 {
+				continue
+			}
+			series.Points = append(series.Points, Point{K: k, Value: v})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}

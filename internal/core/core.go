@@ -1,0 +1,169 @@
+// Package core defines the shared vocabulary of the RAID-6 codes in this
+// repository: the stripe/strip/element data model, the Code interface that
+// every erasure code implements, XOR-operation accounting, and small
+// number-theory helpers (odd primes) that the array codes are built on.
+//
+// Terminology follows the paper: a stripe is a two-dimensional array of
+// elements with one strip (column) per disk; the first K strips hold data
+// and the last two hold the P (row) and Q (anti-diagonal) parities. An
+// element is a byte block whose size is a multiple of the machine word, so
+// a single element XOR advances 8*elemSize interleaved codewords at once.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Errors shared by the code implementations.
+var (
+	ErrTooManyErasures = errors.New("core: more erasures than the code tolerates")
+	ErrShape           = errors.New("core: stripe shape does not match code")
+	ErrParams          = errors.New("core: invalid code parameters")
+)
+
+// A Code is a systematic RAID-6 erasure code: K data strips plus two parity
+// strips (P at column K, Q at column K+1), each strip holding W elements.
+type Code interface {
+	// Name identifies the code and algorithm variant, e.g.
+	// "liberation-optimal" or "rdp".
+	Name() string
+	// K returns the number of data strips.
+	K() int
+	// W returns the number of elements per strip (the column height of the
+	// underlying bit array: p for Liberation, p-1 for EVENODD and RDP).
+	W() int
+	// Encode computes the P and Q strips from the data strips in s.
+	Encode(s *Stripe, ops *Ops) error
+	// Decode reconstructs the erased strips listed in erased (column
+	// indices in 0..K+1, at most two) from the surviving strips. The
+	// contents of erased strips on entry are ignored and fully rewritten.
+	Decode(s *Stripe, erased []int, ops *Ops) error
+}
+
+// An Updater is a Code that supports small writes: updating parity in place
+// when a single data element changes, without re-encoding the stripe.
+type Updater interface {
+	Code
+	// Update applies an in-place change of the data element at (col, row):
+	// oldElem is the element's previous contents, the stripe already holds
+	// the new contents, and the parity strips are patched to match.
+	// It returns the number of parity elements that were modified.
+	Update(s *Stripe, col, row int, oldElem []byte, ops *Ops) (int, error)
+}
+
+// Stripe is one stripe of a RAID-6 array: K data strips and 2 parity
+// strips, each W elements of ElemSize bytes.
+type Stripe struct {
+	K        int
+	W        int
+	ElemSize int
+	Strips   [][]byte // len K+2; each W*ElemSize bytes
+}
+
+// NewStripe allocates a zeroed stripe with the given shape. The strips are
+// carved out of one contiguous allocation so that encode/decode sweeps are
+// cache friendly.
+func NewStripe(k, w, elemSize int) *Stripe {
+	if k < 1 || w < 1 || elemSize < 1 {
+		panic(fmt.Sprintf("core: bad stripe shape k=%d w=%d elemSize=%d", k, w, elemSize))
+	}
+	n := k + 2
+	backing := make([]byte, n*w*elemSize)
+	s := &Stripe{K: k, W: w, ElemSize: elemSize, Strips: make([][]byte, n)}
+	for i := range s.Strips {
+		s.Strips[i], backing = backing[:w*elemSize:w*elemSize], backing[w*elemSize:]
+	}
+	return s
+}
+
+// Elem returns the element at (col, row) as a byte slice aliasing the strip.
+func (s *Stripe) Elem(col, row int) []byte {
+	off := row * s.ElemSize
+	return s.Strips[col][off : off+s.ElemSize : off+s.ElemSize]
+}
+
+// NumStrips returns K+2.
+func (s *Stripe) NumStrips() int { return len(s.Strips) }
+
+// DataSize returns the number of data bytes the stripe carries.
+func (s *Stripe) DataSize() int { return s.K * s.W * s.ElemSize }
+
+// Clone returns a deep copy of the stripe.
+func (s *Stripe) Clone() *Stripe {
+	c := NewStripe(s.K, s.W, s.ElemSize)
+	for i, strip := range s.Strips {
+		copy(c.Strips[i], strip)
+	}
+	return c
+}
+
+// ZeroStrip clears strip col in place.
+func (s *Stripe) ZeroStrip(col int) {
+	strip := s.Strips[col]
+	for i := range strip {
+		strip[i] = 0
+	}
+}
+
+// FillRandom fills the data strips with pseudo-random bytes from rng.
+func (s *Stripe) FillRandom(rng *rand.Rand) {
+	for col := 0; col < s.K; col++ {
+		rng.Read(s.Strips[col])
+	}
+}
+
+// EqualData reports whether the data strips of s and o hold identical bytes.
+func (s *Stripe) EqualData(o *Stripe) bool {
+	if s.K != o.K || s.W != o.W || s.ElemSize != o.ElemSize {
+		return false
+	}
+	for col := 0; col < s.K; col++ {
+		if string(s.Strips[col]) != string(o.Strips[col]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether all strips (data and parity) of s and o match.
+func (s *Stripe) Equal(o *Stripe) bool {
+	if !s.EqualData(o) {
+		return false
+	}
+	for col := s.K; col < s.K+2; col++ {
+		if string(s.Strips[col]) != string(o.Strips[col]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckShape validates that the stripe matches a code's K and W.
+func (s *Stripe) CheckShape(k, w int) error {
+	if s.K != k || s.W != w || len(s.Strips) != k+2 {
+		return fmt.Errorf("%w: stripe is %dx%d+2, code wants %dx%d+2",
+			ErrShape, s.K, s.W, k, w)
+	}
+	return nil
+}
+
+// ErasurePairs enumerates all two-column erasure patterns over n strips,
+// ordered lexicographically. It is used by the complexity and throughput
+// experiments, which average over "all the possible erasure patterns".
+func ErasurePairs(n int) [][2]int {
+	var out [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// DataErasurePairs enumerates erasure patterns where both lost strips are
+// data strips — the hard case that Algorithm 4 of the paper addresses.
+func DataErasurePairs(k int) [][2]int {
+	return ErasurePairs(k)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimes(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true,
+		13: true, 17: true, 19: true, 23: true, 29: true, 31: true}
+	for n := -5; n <= 31; n++ {
+		if IsPrime(n) != primes[n] {
+			t.Errorf("IsPrime(%d) = %v", n, IsPrime(n))
+		}
+	}
+	cases := map[int]int{-3: 3, 0: 3, 2: 3, 3: 3, 4: 5, 5: 5, 6: 7,
+		8: 11, 14: 17, 24: 29, 30: 31, 32: 37}
+	for in, want := range cases {
+		if got := NextOddPrime(in); got != want {
+			t.Errorf("NextOddPrime(%d) = %d, want %d", in, got, want)
+		}
+	}
+	got := OddPrimesUpTo(13)
+	want := []int{3, 5, 7, 11, 13}
+	if len(got) != len(want) {
+		t.Fatalf("OddPrimesUpTo(13) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OddPrimesUpTo(13) = %v", got)
+		}
+	}
+}
+
+func TestMod(t *testing.T) {
+	if err := quick.Check(func(x int16, m uint8) bool {
+		mm := int(m%50) + 1
+		got := Mod(int(x), mm)
+		return got >= 0 && got < mm && (got-int(x))%mm == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripeLayout(t *testing.T) {
+	s := NewStripe(3, 5, 8)
+	if s.NumStrips() != 5 || s.DataSize() != 3*5*8 {
+		t.Fatalf("bad shape: %d strips, %d data bytes", s.NumStrips(), s.DataSize())
+	}
+	// Elem must alias the strip storage.
+	s.Elem(2, 3)[0] = 0xab
+	if s.Strips[2][3*8] != 0xab {
+		t.Error("Elem does not alias strip storage")
+	}
+	if err := s.CheckShape(3, 5); err != nil {
+		t.Error(err)
+	}
+	if err := s.CheckShape(4, 5); err == nil {
+		t.Error("CheckShape accepted wrong k")
+	}
+}
+
+func TestStripeCloneEqual(t *testing.T) {
+	s := NewStripe(4, 3, 16)
+	s.FillRandom(rand.New(rand.NewSource(7)))
+	c := s.Clone()
+	if !s.Equal(c) || !s.EqualData(c) {
+		t.Fatal("clone differs")
+	}
+	c.Strips[5][0] ^= 1
+	if s.Equal(c) {
+		t.Error("Equal missed a parity difference")
+	}
+	if !s.EqualData(c) {
+		t.Error("EqualData must ignore parity strips")
+	}
+	c.Strips[0][0] ^= 1
+	if s.EqualData(c) {
+		t.Error("EqualData missed a data difference")
+	}
+	s.ZeroStrip(0)
+	for _, b := range s.Strips[0] {
+		if b != 0 {
+			t.Fatal("ZeroStrip left data")
+		}
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	var ops Ops
+	a := make([]byte, 8)
+	b := make([]byte, 8)
+	ops.Xor(a, a, b)
+	ops.XorInto(a, b)
+	ops.Copy(a, b)
+	ops.Zero(a)
+	if ops.XORs != 2 || ops.Copies != 1 {
+		t.Errorf("ops = %v, want 2 XORs and 1 copy", &ops)
+	}
+	ops.Add(Ops{XORs: 3, Copies: 4})
+	if ops.XORs != 5 || ops.Copies != 5 {
+		t.Errorf("Add gave %v", &ops)
+	}
+	ops.Reset()
+	if ops.XORs != 0 || ops.Copies != 0 {
+		t.Error("Reset failed")
+	}
+	// nil Ops must be usable.
+	var nilOps *Ops
+	nilOps.Xor(a, a, b)
+	nilOps.Copy(a, b)
+	nilOps.Zero(a)
+	nilOps.Reset()
+	nilOps.Add(Ops{})
+	_ = nilOps.String()
+}
+
+func TestErasurePairs(t *testing.T) {
+	pairs := ErasurePairs(5)
+	if len(pairs) != 10 {
+		t.Fatalf("ErasurePairs(5) has %d entries, want 10", len(pairs))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			t.Fatalf("unordered pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	if len(DataErasurePairs(4)) != 6 {
+		t.Error("DataErasurePairs(4) wrong size")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+// IsPrime reports whether n is prime. The array codes only ever need small
+// primes (p <= a few hundred), so trial division is ample.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextOddPrime returns the smallest odd prime >= n. The Liberation and
+// EVENODD constructions require an odd prime p >= k; when a RAID-6 system
+// does not intend to grow, p is chosen this way to minimize column height.
+func NextOddPrime(n int) int {
+	if n < 3 {
+		return 3
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+// OddPrimesUpTo returns all odd primes <= n in increasing order.
+func OddPrimesUpTo(n int) []int {
+	var out []int
+	for p := 3; p <= n; p += 2 {
+		if IsPrime(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mod returns x mod m in 0..m-1 for any (possibly negative) x. It is the
+// paper's <x> operator.
+func Mod(x, m int) int {
+	x %= m
+	if x < 0 {
+		x += m
+	}
+	return x
+}

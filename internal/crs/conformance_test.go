@@ -1,0 +1,19 @@
+package crs_test
+
+import (
+	"testing"
+
+	"repro/internal/codetest"
+	"repro/internal/crs"
+)
+
+func TestConformance(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 10} {
+		c, err := crs.New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.CacheDecodeSchedules = true
+		t.Run(c.Name(), func(t *testing.T) { codetest.Run(t, c) })
+	}
+}

@@ -1,0 +1,58 @@
+// Package crs implements Cauchy Reed-Solomon RAID-6 coding — the other
+// major code family Jerasure provides and the one Plank's FAST'08 paper
+// benchmarks the Liberation codes against. A Cauchy matrix over GF(2^8)
+// is projected to a bit matrix (each field element becomes a w x w binary
+// block whose column c holds the bits of e * 2^c), after which all
+// encoding and decoding runs on the same schedule machinery as the
+// original Liberation implementation. Unlike the array codes, CRS has no
+// prime-number constraint: any k up to 254 works with w = 8.
+package crs
+
+import (
+	"fmt"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/gf"
+)
+
+// W is the bit width of the projected field elements (GF(2^8)).
+const W = 8
+
+// Generator returns the 2W x kW Cauchy generator bit matrix for k data
+// strips and 2 parity strips. The Cauchy matrix uses x_i = i for the
+// parity rows and y_j = 2 + j for the data columns, so all x_i + y_j are
+// nonzero and distinct.
+func Generator(k int) (*bitmatrix.Matrix, error) {
+	if k < 1 || k > 254 {
+		return nil, fmt.Errorf("crs: need 1 <= k <= 254, got %d", k)
+	}
+	m := bitmatrix.New(2*W, k*W)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < k; j++ {
+			e := gf.Inv(byte(i) ^ byte(2+j)) // the Cauchy element 1/(x_i + y_j)
+			// Project e into an 8x8 bit block: column c is e * 2^c.
+			col := e
+			for c := 0; c < W; c++ {
+				for r := 0; r < W; r++ {
+					if col&(1<<r) != 0 {
+						m.Set(i*W+r, j*W+c, true)
+					}
+				}
+				col = gf.Mul(col, 2)
+			}
+		}
+	}
+	return m, nil
+}
+
+// New returns a schedule-driven Cauchy Reed-Solomon RAID-6 code with k
+// data strips, using smart scheduling for both directions (Jerasure's
+// default for CRS).
+func New(k int) (*bitmatrix.Code, error) {
+	gen, err := Generator(k)
+	if err != nil {
+		return nil, err
+	}
+	return bitmatrix.NewCode(fmt.Sprintf("crs(k=%d)", k), k, W, gen,
+		bitmatrix.Smart, bitmatrix.Smart)
+}

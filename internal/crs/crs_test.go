@@ -1,0 +1,91 @@
+package crs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gf"
+)
+
+func TestIsMDS(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8, 13} {
+		c, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckMDS(); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestEncodeMatchesFieldArithmetic(t *testing.T) {
+	// The bit-matrix encoding must agree with direct GF(2^8) evaluation
+	// of the Cauchy system: parity_i = sum_j 1/(x_i + y_j) * D_j, where
+	// each strip is W bytes (one byte per bit-row, element size 1).
+	for _, k := range []int{2, 4, 7} {
+		c, _ := New(k)
+		s := core.NewStripe(k, W, 1)
+		rng := rand.New(rand.NewSource(int64(k)))
+		s.FillRandom(rng)
+		if err := c.Encode(s, nil); err != nil {
+			t.Fatal(err)
+		}
+		// A strip of W single-byte elements encodes 8 interleaved
+		// codewords; codeword b consists of bit b of each element. Check
+		// every codeword against field arithmetic.
+		for bit := 0; bit < 8; bit++ {
+			word := func(col int) byte {
+				var v byte
+				for r := 0; r < W; r++ {
+					if s.Elem(col, r)[0]&(1<<bit) != 0 {
+						v |= 1 << r
+					}
+				}
+				return v
+			}
+			for i := 0; i < 2; i++ {
+				var want byte
+				for j := 0; j < k; j++ {
+					want ^= gf.Mul(gf.Inv(byte(i)^byte(2+j)), word(j))
+				}
+				if got := word(k + i); got != want {
+					t.Errorf("k=%d bit=%d parity %d: got %02x want %02x",
+						k, bit, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeAllPatterns(t *testing.T) {
+	for _, k := range []int{2, 5, 9} {
+		c, _ := New(k)
+		c.CacheDecodeSchedules = true
+		orig := core.NewStripe(k, W, 16)
+		orig.FillRandom(rand.New(rand.NewSource(int64(3 * k))))
+		if err := c.Encode(orig, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, pat := range core.ErasurePairs(k + 2) {
+			s := orig.Clone()
+			rand.New(rand.NewSource(9)).Read(s.Strips[pat[0]])
+			rand.New(rand.NewSource(10)).Read(s.Strips[pat[1]])
+			if err := c.Decode(s, pat[:], nil); err != nil {
+				t.Fatalf("k=%d erased=%v: %v", k, pat, err)
+			}
+			if !s.Equal(orig) {
+				t.Errorf("k=%d erased=%v: decode failed", k, pat)
+			}
+		}
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	for _, k := range []int{0, -1, 255} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d) succeeded", k)
+		}
+	}
+}

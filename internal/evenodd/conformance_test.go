@@ -1,0 +1,18 @@
+package evenodd_test
+
+import (
+	"testing"
+
+	"repro/internal/codetest"
+	"repro/internal/evenodd"
+)
+
+func TestConformance(t *testing.T) {
+	for _, sh := range [][2]int{{1, 3}, {3, 5}, {5, 5}, {7, 7}, {6, 11}} {
+		c, err := evenodd.New(sh[0], sh[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codetest.Run(t, c) })
+	}
+}

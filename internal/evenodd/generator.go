@@ -1,0 +1,49 @@
+package evenodd
+
+import (
+	"fmt"
+
+	"repro/internal/bitmatrix"
+)
+
+// Generator returns the EVENODD generator bit-matrix (2(p-1) x k(p-1)):
+// row i < p-1 describes P[i], row (p-1)+i describes Q[i]; matrix column
+// j*(p-1)+b refers to bit b of data strip j. Bits on the missing diagonal
+// appear in every Q row (through S), XOR-cancelling where they also lie on
+// the row's own diagonal.
+func (c *Code) Generator() *bitmatrix.Matrix {
+	p, k := c.p, c.k
+	w := p - 1
+	m := bitmatrix.New(2*w, k*w)
+	for i := 0; i < w; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j*w+i, true)
+		}
+	}
+	for i := 0; i < w; i++ {
+		// Diagonal i cells.
+		for j := 0; j < k; j++ {
+			row := c.mod(i - j)
+			if row != p-1 {
+				m.Flip(w+i, j*w+row)
+			}
+		}
+		// S cells (diagonal p-1): columns 1..k-1, row p-1-j.
+		for j := 1; j < k; j++ {
+			m.Flip(w+i, j*w+(p-1-j))
+		}
+	}
+	return m
+}
+
+// NewBitmatrix returns a schedule-driven implementation of the same code,
+// used as a correctness oracle in tests.
+func NewBitmatrix(k, p int) (*bitmatrix.Code, error) {
+	c, err := New(k, p)
+	if err != nil {
+		return nil, err
+	}
+	return bitmatrix.NewCode(
+		fmt.Sprintf("evenodd-bitmatrix(k=%d,p=%d)", k, p),
+		k, p-1, c.Generator(), bitmatrix.Dumb, bitmatrix.Smart)
+}

@@ -1,0 +1,69 @@
+package evenodd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func verifyParities(t *testing.T, c *Code, s *core.Stripe) bool {
+	t.Helper()
+	want := s.Clone()
+	if err := c.Encode(want, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s.Equal(want)
+}
+
+func TestUpdateMatchesReencode(t *testing.T) {
+	for _, sh := range [][2]int{{3, 5}, {5, 5}, {7, 11}} {
+		k, p := sh[0], sh[1]
+		c, _ := New(k, p)
+		rng := rand.New(rand.NewSource(int64(k * p)))
+		s := core.NewStripe(k, p-1, 16)
+		s.FillRandom(rng)
+		if err := c.Encode(s, nil); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			col := rng.Intn(k)
+			row := rng.Intn(p - 1)
+			old := append([]byte(nil), s.Elem(col, row)...)
+			rng.Read(s.Elem(col, row))
+			if _, err := c.Update(s, col, row, old, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !verifyParities(t, c, s) {
+				t.Fatalf("k=%d p=%d trial %d: parities wrong after update", k, p, trial)
+			}
+		}
+	}
+}
+
+func TestUpdateComplexityNearThree(t *testing.T) {
+	// Table I: EVENODD update complexity ~3. Elements on the missing
+	// diagonal touch all p-1 Q elements; the rest touch 2 parities.
+	k, p := 7, 7
+	c, _ := New(k, p)
+	s := core.NewStripe(k, p-1, 8)
+	if err := c.Encode(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for col := 0; col < k; col++ {
+		for row := 0; row < p-1; row++ {
+			old := append([]byte(nil), s.Elem(col, row)...)
+			s.Elem(col, row)[0] ^= 0xff
+			n, err := c.Update(s, col, row, old, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += n
+		}
+	}
+	avg := float64(total) / float64(k*(p-1))
+	if avg < 2.5 || avg > 3.5 {
+		t.Errorf("average update complexity %.3f, want ~3", avg)
+	}
+}

@@ -1,0 +1,73 @@
+package liberation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDecodeBigPrimes runs the full erasure sweep at the largest primes
+// the paper's fixed-p configuration uses (p = 23, 29, 31). Skipped in
+// -short mode.
+func TestDecodeBigPrimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-prime sweep skipped in -short mode")
+	}
+	for _, sh := range [][2]int{{23, 23}, {10, 23}, {29, 29}, {23, 31}, {4, 31}} {
+		k, p := sh[0], sh[1]
+		c, err := New(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := core.NewStripe(k, p, 8)
+		orig.FillRandom(rand.New(rand.NewSource(int64(k + p))))
+		if err := c.Encode(orig, nil); err != nil {
+			t.Fatal(err)
+		}
+		var ops core.Ops
+		s := orig.Clone()
+		if err := c.Encode(s, &ops); err != nil {
+			t.Fatal(err)
+		}
+		if ops.XORs != uint64(2*p*(k-1)) {
+			t.Errorf("k=%d p=%d: encode XORs %d != bound %d", k, p, ops.XORs, 2*p*(k-1))
+		}
+		for _, pat := range core.ErasurePairs(k + 2) {
+			s := orig.Clone()
+			rand.New(rand.NewSource(1)).Read(s.Strips[pat[0]])
+			rand.New(rand.NewSource(2)).Read(s.Strips[pat[1]])
+			if err := c.Decode(s, pat[:], nil); err != nil {
+				t.Fatalf("k=%d p=%d erased=%v: %v", k, p, pat, err)
+			}
+			if !s.Equal(orig) {
+				t.Errorf("k=%d p=%d erased=%v: wrong reconstruction", k, p, pat)
+			}
+		}
+	}
+}
+
+// TestCorrectColumnBigPrime exercises the scrubber at p=29 for every
+// strip. Skipped in -short mode.
+func TestCorrectColumnBigPrime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-prime scrub sweep skipped in -short mode")
+	}
+	c, _ := New(20, 29)
+	clean := core.NewStripe(20, 29, 8)
+	clean.FillRandom(rand.New(rand.NewSource(77)))
+	if err := c.Encode(clean, nil); err != nil {
+		t.Fatal(err)
+	}
+	for col := 0; col < 22; col++ {
+		s := clean.Clone()
+		s.Strips[col][13] ^= 0x77
+		got, err := c.CorrectColumn(s, nil)
+		if err != nil {
+			t.Fatalf("col %d: %v", col, err)
+		}
+		if got != col || !s.Equal(clean) {
+			t.Errorf("col %d: repaired %d", col, got)
+		}
+	}
+}

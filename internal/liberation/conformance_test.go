@@ -1,0 +1,29 @@
+package liberation_test
+
+import (
+	"testing"
+
+	"repro/internal/codetest"
+	"repro/internal/liberation"
+)
+
+func TestConformance(t *testing.T) {
+	for _, sh := range [][2]int{{1, 3}, {2, 3}, {4, 5}, {7, 7}, {6, 11}, {13, 13}} {
+		c, err := liberation.New(sh[0], sh[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codetest.Run(t, c) })
+	}
+}
+
+func TestConformanceOriginal(t *testing.T) {
+	for _, sh := range [][2]int{{2, 3}, {4, 5}, {7, 7}} {
+		c, err := liberation.NewOriginal(sh[0], sh[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.CacheDecodeSchedules = true
+		t.Run(c.Name(), func(t *testing.T) { codetest.Run(t, c) })
+	}
+}

@@ -1,0 +1,103 @@
+package liberation
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/xorblk"
+)
+
+// ErrAmbiguousCorruption is returned when the parity mismatch pattern is
+// consistent with more than one corrupted strip (or with none), i.e. the
+// corruption is not confined to a single column.
+var ErrAmbiguousCorruption = errors.New("liberation: corruption not attributable to a single column")
+
+// CleanColumn is returned by CorrectColumn when no corruption is present.
+const CleanColumn = -1
+
+// CorrectColumn scans a full stripe (no erasures) for a single silently
+// corrupted strip and repairs it in place — the single-column error
+// correction the paper provides to protect against silent data
+// corruption. It returns the index of the repaired strip, or CleanColumn
+// if the parities verify.
+//
+// The method: recompute both parities and form the row discrepancy dP and
+// anti-diagonal discrepancy dQ. A corrupt P (resp. Q) strip shows up as
+// dP != 0, dQ == 0 (resp. the reverse). A corrupt data strip c turns dP
+// into exactly the per-row error values, whose known Q-side memberships
+// (each row's anti-diagonal through column c, plus the extra-bit
+// constraint for the extra element of column c) must then reproduce dQ;
+// the unique column whose prediction matches is the corrupted one.
+func (c *Code) CorrectColumn(s *core.Stripe, ops *core.Ops) (int, error) {
+	if err := s.CheckShape(c.k, c.p); err != nil {
+		return 0, err
+	}
+	p, k := c.p, c.k
+	elemSize := s.ElemSize
+
+	expect := s.Clone()
+	if err := c.Encode(expect, ops); err != nil {
+		return 0, err
+	}
+	dP := make([][]byte, p)
+	dQ := make([][]byte, p)
+	backing := make([]byte, 2*p*elemSize)
+	zeroP, zeroQ := true, true
+	for i := 0; i < p; i++ {
+		dP[i], backing = backing[:elemSize:elemSize], backing[elemSize:]
+		dQ[i], backing = backing[:elemSize:elemSize], backing[elemSize:]
+		ops.Xor(dP[i], s.Elem(k, i), expect.Elem(k, i))
+		ops.Xor(dQ[i], s.Elem(k+1, i), expect.Elem(k+1, i))
+		zeroP = zeroP && xorblk.IsZero(dP[i])
+		zeroQ = zeroQ && xorblk.IsZero(dQ[i])
+	}
+	switch {
+	case zeroP && zeroQ:
+		return CleanColumn, nil
+	case !zeroP && zeroQ:
+		ops.Copy(s.Strips[k], expect.Strips[k])
+		return k, nil
+	case zeroP && !zeroQ:
+		ops.Copy(s.Strips[k+1], expect.Strips[k+1])
+		return k + 1, nil
+	}
+
+	// Both parities disagree: a data strip is suspect. Predict dQ from dP
+	// for each candidate column and look for the unique match.
+	pred := make([]byte, p*elemSize)
+	candidate := CleanColumn
+	for col := 0; col < k; col++ {
+		for i := range pred {
+			pred[i] = 0
+		}
+		predRow := func(q int) []byte { return pred[q*elemSize : (q+1)*elemSize] }
+		for i := 0; i < p; i++ {
+			if xorblk.IsZero(dP[i]) {
+				continue
+			}
+			ops.XorInto(predRow(c.mod(i-col)), dP[i])
+			if col >= 1 && i == c.extraRow(col) {
+				ops.XorInto(predRow(c.extraConstraint(col)), dP[i])
+			}
+		}
+		match := true
+		for q := 0; q < p && match; q++ {
+			diff := make([]byte, elemSize)
+			xorblk.Xor(diff, predRow(q), dQ[q])
+			match = xorblk.IsZero(diff)
+		}
+		if match {
+			if candidate != CleanColumn {
+				return 0, ErrAmbiguousCorruption
+			}
+			candidate = col
+		}
+	}
+	if candidate == CleanColumn {
+		return 0, ErrAmbiguousCorruption
+	}
+	for i := 0; i < p; i++ {
+		ops.XorInto(s.Elem(candidate, i), dP[i])
+	}
+	return candidate, nil
+}

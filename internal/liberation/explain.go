@@ -1,0 +1,91 @@
+package liberation
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bitmatrix"
+)
+
+// ExplainEncode writes the optimal encoding's element-operation sequence
+// in the paper's b[i][j] notation, grouping the operations per destination
+// the way Section III-B lists steps 1)-14) for p = 5. It is generated
+// from the very schedule Encode executes, so the listing is the program.
+func (c *Code) ExplainEncode(w io.Writer) {
+	c.plans.encOnce.Do(func() { c.plans.enc = c.buildEncodeSchedule() })
+	fmt.Fprintf(w, "Optimal encoding, k=%d p=%d (%d XORs = 2p(k-1), the lower bound):\n",
+		c.k, c.p, c.plans.enc.XORCount())
+	c.explain(w, c.plans.enc)
+}
+
+// ExplainDecode writes the optimal two-data-erasure decoding sequence
+// (syndromes, starting point, retrieval chain) for erased columns l and r.
+func (c *Code) ExplainDecode(w io.Writer, l, r int) error {
+	if l > r {
+		l, r = r, l
+	}
+	if l < 0 || r >= c.k || l == r {
+		return fmt.Errorf("liberation: explain needs two distinct data columns, got (%d,%d)", l, r)
+	}
+	sch, err := c.dataPairSchedule(l, r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Optimal decoding of columns %d and %d, k=%d p=%d (%d XORs; lower bound %d):\n",
+		l, r, c.k, c.p, sch.XORCount(), 2*c.p*(c.k-1))
+	c.explain(w, sch)
+	return nil
+}
+
+// explain renders a schedule with one line per destination element,
+// merging runs of operations that accumulate into the same element.
+func (c *Code) explain(w io.Writer, sch bitmatrix.Schedule) {
+	name := func(col, row int) string {
+		switch col {
+		case c.k:
+			return fmt.Sprintf("P[%d]", row)
+		case c.k + 1:
+			return fmt.Sprintf("Q[%d]", row)
+		default:
+			return fmt.Sprintf("b[%d][%d]", row, col)
+		}
+	}
+	step := 0
+	flush := func(dst string, srcs []string, fromSelf bool) {
+		if dst == "" {
+			return
+		}
+		step++
+		op := "<-"
+		join := ""
+		if fromSelf {
+			join = dst + " ^ "
+		}
+		fmt.Fprintf(w, "%3d) %-9s %s %s", step, dst, op, join)
+		for i, s := range srcs {
+			if i > 0 {
+				fmt.Fprint(w, " ^ ")
+			}
+			fmt.Fprint(w, s)
+		}
+		fmt.Fprintln(w)
+	}
+	curDst := ""
+	var srcs []string
+	fromSelf := false
+	for _, op := range sch {
+		dst := name(op.DstCol, op.DstRow)
+		if dst != curDst {
+			flush(curDst, srcs, fromSelf)
+			curDst, srcs = dst, srcs[:0]
+			fromSelf = op.Kind == bitmatrix.OpXor
+		}
+		switch op.Kind {
+		case bitmatrix.OpZero:
+			srcs = append(srcs, "0")
+		default:
+			srcs = append(srcs, name(op.SrcCol, op.SrcRow))
+		}
+	}
+	flush(curDst, srcs, fromSelf)
+}

@@ -1,0 +1,48 @@
+package liberation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainEncodePaperExample(t *testing.T) {
+	c, _ := New(5, 5)
+	var sb strings.Builder
+	c.ExplainEncode(&sb)
+	out := sb.String()
+	// The four common expressions of Section III-B, steps 1)-4): each pair
+	// lands in its P row and is copied into its Q constraint.
+	for _, want := range []string{
+		"40 XORs",
+		"P[0]      <- b[0][1] ^ b[0][2]",
+		"P[1]      <- b[1][3] ^ b[1][4]",
+		"P[2]      <- b[2][0] ^ b[2][1]",
+		"P[3]      <- b[3][2] ^ b[3][3]",
+		"Q[4]      <- P[0]",
+		"Q[3]      <- P[1]",
+		"Q[2]      <- P[2]",
+		"Q[1]      <- P[3]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encode explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainDecode(t *testing.T) {
+	c, _ := New(5, 5)
+	var sb strings.Builder
+	if err := c.ExplainDecode(&sb, 3, 1); err != nil { // order-insensitive
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "columns 1 and 3") || !strings.Contains(out, "41 XORs") {
+		t.Errorf("decode explanation header wrong:\n%s", out)
+	}
+	if err := c.ExplainDecode(&sb, 2, 2); err == nil {
+		t.Error("accepted identical columns")
+	}
+	if err := c.ExplainDecode(&sb, 0, 9); err == nil {
+		t.Error("accepted out-of-range column")
+	}
+}

@@ -1,0 +1,357 @@
+package liberation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testShapes enumerates the (k, p) combinations the unit tests sweep.
+func testShapes() [][2]int {
+	var shapes [][2]int
+	for _, p := range []int{3, 5, 7, 11, 13} {
+		for k := 1; k <= p; k++ {
+			shapes = append(shapes, [2]int{k, p})
+		}
+	}
+	// A few fixed-p=17 shapes to cover k << p.
+	shapes = append(shapes, [2]int{2, 17}, [2]int{5, 17}, [2]int{16, 17})
+	return shapes
+}
+
+func randStripe(t *testing.T, k, p, elem int, seed int64) *core.Stripe {
+	t.Helper()
+	s := core.NewStripe(k, p, elem)
+	s.FillRandom(rand.New(rand.NewSource(seed)))
+	return s
+}
+
+func TestEncodeMatchesNaive(t *testing.T) {
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		c, err := New(k, p)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, p, err)
+		}
+		s := randStripe(t, k, p, 16, int64(k*1000+p))
+		want := s.Clone()
+		if err := c.EncodeNaive(want, nil); err != nil {
+			t.Fatalf("naive: %v", err)
+		}
+		if err := c.Encode(s, nil); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if !s.Equal(want) {
+			t.Errorf("k=%d p=%d: optimal encode disagrees with naive encode", k, p)
+		}
+	}
+}
+
+func TestEncodeXORCount(t *testing.T) {
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		c, _ := New(k, p)
+		s := randStripe(t, k, p, 8, 42)
+		var ops core.Ops
+		if err := c.Encode(s, &ops); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(2 * p * (k - 1))
+		if ops.XORs != want {
+			t.Errorf("k=%d p=%d: encode used %d XORs, want %d (the lower bound)",
+				k, p, ops.XORs, want)
+		}
+		if got := c.EncodeXORs(); got != int(want) {
+			t.Errorf("EncodeXORs()=%d, want %d", got, want)
+		}
+	}
+}
+
+func TestOriginalEncodeMatchesNaive(t *testing.T) {
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		c, _ := New(k, p)
+		orig, err := NewOriginal(k, p)
+		if err != nil {
+			t.Fatalf("NewOriginal(%d,%d): %v", k, p, err)
+		}
+		s := randStripe(t, k, p, 16, int64(k*77+p))
+		want := s.Clone()
+		if err := c.EncodeNaive(want, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.Encode(s, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Equal(want) {
+			t.Errorf("k=%d p=%d: bitmatrix encode disagrees with naive encode", k, p)
+		}
+	}
+}
+
+func TestOriginalEncodeXORCount(t *testing.T) {
+	// Original (dumb bit-matrix) encoding costs 2p(k-1) + (k-1) XORs, the
+	// k-1 + (k-1)/2p per-parity-bit figure from Table I.
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		orig, _ := NewOriginal(k, p)
+		want := 2*p*(k-1) + (k - 1)
+		if got := orig.EncodeXORs(); got != want {
+			t.Errorf("k=%d p=%d: original encode %d XORs, want %d", k, p, got, want)
+		}
+	}
+}
+
+func TestGeneratorIsMDS(t *testing.T) {
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		if p > 11 {
+			continue // keep the O(p^6) inversion sweep fast
+		}
+		orig, _ := NewOriginal(k, p)
+		if err := orig.CheckMDS(); err != nil {
+			t.Errorf("k=%d p=%d: generator not MDS: %v", k, p, err)
+		}
+	}
+}
+
+func TestDecodeAllPatterns(t *testing.T) {
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		c, _ := New(k, p)
+		orig := randStripe(t, k, p, 16, int64(k*31+p*7))
+		if err := c.Encode(orig, nil); err != nil {
+			t.Fatal(err)
+		}
+		patterns := core.ErasurePairs(k + 2)
+		for e := 0; e < k+2; e++ {
+			patterns = append(patterns, [2]int{e, e}) // single-erasure cases
+		}
+		for _, pat := range patterns {
+			s := orig.Clone()
+			erased := []int{pat[0], pat[1]}
+			if pat[0] == pat[1] {
+				erased = erased[:1]
+			}
+			for _, e := range erased {
+				rand.New(rand.NewSource(99)).Read(s.Strips[e]) // scribble
+			}
+			if err := c.Decode(s, erased, nil); err != nil {
+				t.Fatalf("k=%d p=%d erased=%v: %v", k, p, erased, err)
+			}
+			if !s.Equal(orig) {
+				t.Errorf("k=%d p=%d erased=%v: decode did not restore the stripe",
+					k, p, erased)
+			}
+		}
+	}
+}
+
+func TestOriginalDecodeAllPatterns(t *testing.T) {
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		if p > 11 {
+			continue
+		}
+		oc, _ := NewOriginal(k, p)
+		oc.CacheDecodeSchedules = true
+		orig := randStripe(t, k, p, 16, int64(k*13+p*5))
+		if err := oc.Encode(orig, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, pat := range core.ErasurePairs(k + 2) {
+			s := orig.Clone()
+			rand.New(rand.NewSource(7)).Read(s.Strips[pat[0]])
+			rand.New(rand.NewSource(8)).Read(s.Strips[pat[1]])
+			if err := oc.Decode(s, pat[:], nil); err != nil {
+				t.Fatalf("k=%d p=%d erased=%v: %v", k, p, pat, err)
+			}
+			if !s.Equal(orig) {
+				t.Errorf("k=%d p=%d erased=%v: bitmatrix decode failed", k, p, pat)
+			}
+		}
+	}
+}
+
+func TestPaperExampleXORCounts(t *testing.T) {
+	// Section III-B: the p=5 (k=5) encoding uses 40 XORs, 4 per parity
+	// bit, the lower bound.
+	c, _ := New(5, 5)
+	s := randStripe(t, 5, 5, 8, 1)
+	var ops core.Ops
+	if err := c.Encode(s, &ops); err != nil {
+		t.Fatal(err)
+	}
+	if ops.XORs != 40 {
+		t.Errorf("p=5 encode XORs = %d, want 40", ops.XORs)
+	}
+	// Section III-C decodes columns 1 and 3. The paper counts 39 XORs,
+	// but its example syndrome equations drop two known terms (b[2][4]
+	// from S^Q_3 and b[1][2] from S^Q_4) that its own Algorithm 3
+	// includes; the self-consistent count is 41 (1.025x the 40-XOR lower
+	// bound, matching the paper's stated 0-2.5% band). See EXPERIMENTS.md.
+	n, err := c.DecodeXORs([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 41 {
+		t.Errorf("p=5 decode(1,3) XORs = %d, want 41", n)
+	}
+}
+
+func TestDecodeComplexityNearOptimal(t *testing.T) {
+	// Figures 7/8: averaged over all the possible erasure patterns (as the
+	// paper does), the optimal decoder stays within a few percent of the
+	// k-1 lower bound. Data-data patterns alone carry the extra cost of
+	// summing the starting-point constraint sets (Algorithm 2), so their
+	// average is allowed a slightly looser band.
+	for _, sh := range testShapes() {
+		k, p := sh[0], sh[1]
+		if k < 3 {
+			continue
+		}
+		c, _ := New(k, p)
+		bound := float64(2 * p * (k - 1))
+		dataTotal, dataCnt := 0, 0
+		allTotal, allCnt := 0, 0
+		for _, pat := range core.ErasurePairs(k + 2) {
+			n, err := c.DecodeXORs(pat[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			allTotal += n
+			allCnt++
+			if pat[1] < k {
+				dataTotal += n
+				dataCnt++
+			}
+		}
+		dataNorm := float64(dataTotal) / float64(dataCnt) / bound
+		allNorm := float64(allTotal) / float64(allCnt) / bound
+		// Expected structure of the overhead: data-data patterns pay the
+		// starting-point sum (averaging ~p/4 XORs, i.e. 1/(8(k-1))
+		// normalized), parity patterns pay the lone-Q recomputation
+		// (~(k-1) XORs, i.e. 1/(2p) normalized).
+		band := 1.02 + 1.0/(8.0*float64(k-1)) + 0.5/float64(p)
+		if allNorm > band {
+			t.Errorf("k=%d p=%d: all-pattern decode complexity %.4f exceeds %.4f",
+				k, p, allNorm, band)
+		}
+		if dataNorm > band {
+			t.Errorf("k=%d p=%d: data-data decode complexity %.4f exceeds %.4f",
+				k, p, dataNorm, band)
+		}
+		if allNorm < 0.90 {
+			t.Errorf("k=%d p=%d: decode complexity %.4f suspiciously low", k, p, allNorm)
+		}
+	}
+}
+
+func TestStartingPointAlgorithm(t *testing.T) {
+	// The paper's worked example: p=5, columns 1 and 3 erased. Algorithm 2
+	// fails in the (l=1, r=3) orientation and, after swapping, yields
+	// starting point b[3][1] = S^P_0 ^ S^P_2 ^ S^Q_2 ^ S^Q_4.
+	c, _ := New(5, 5)
+	_, _, x := c.startingPoint(1, 3)
+	if x != -1 {
+		t.Fatalf("startingPoint(1,3) = %d, want -1 (swap required)", x)
+	}
+	sp, sq, x := c.startingPoint(3, 1)
+	if x != 3 {
+		t.Fatalf("startingPoint(3,1) x = %d, want 3", x)
+	}
+	wantSP := map[int]bool{0: true, 2: true}
+	wantSQ := map[int]bool{2: true, 4: true}
+	if len(sp) != 2 || !wantSP[sp[0]] || !wantSP[sp[1]] {
+		t.Errorf("S^P = %v, want {0,2}", sp)
+	}
+	if len(sq) != 2 || !wantSQ[sq[0]] || !wantSQ[sq[1]] {
+		t.Errorf("S^Q = %v, want {2,4}", sq)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	// Figure 2 (p=5): extra bits sit at (<-i-1>, <-2i>) and the common
+	// expressions pair adjacent columns on specific rows.
+	c, _ := New(5, 5)
+	wantExtra := map[int][2]int{ // constraint i -> (row, col)
+		1: {3, 3}, 2: {2, 1}, 3: {1, 4}, 4: {0, 2},
+	}
+	for i, rc := range wantExtra {
+		col := core.Mod(-2*i, 5)
+		row := core.Mod(-i-1, 5)
+		if row != rc[0] || col != rc[1] {
+			t.Errorf("extra bit of Q[%d] at (%d,%d), want (%d,%d)", i, row, col, rc[0], rc[1])
+		}
+		if c.extraConstraint(col) != i || c.extraRow(col) != row {
+			t.Errorf("extraConstraint/extraRow inconsistent for col %d", col)
+		}
+	}
+	// Pairs: (b[2][0],b[2][1]) for row "3"/diag C(=2), (b[0][1],b[0][2])
+	// for "1"/E(=4), (b[3][2],b[3][3]) for "4"/B(=1), (b[1][3],b[1][4])
+	// for "2"/D(=3).
+	wantPairs := map[int][2]int{ // pair j -> (row, constraint)
+		1: {2, 2}, 2: {0, 4}, 3: {3, 1}, 4: {1, 3},
+	}
+	for j, rc := range wantPairs {
+		if c.pairRow(j) != rc[0] || c.pairConstraint(j) != rc[1] {
+			t.Errorf("pair %d: (row,constraint) = (%d,%d), want (%d,%d)",
+				j, c.pairRow(j), c.pairConstraint(j), rc[0], rc[1])
+		}
+	}
+}
+
+func TestDecodeManySeeds(t *testing.T) {
+	// Re-run the full erasure sweep for several data seeds on a couple of
+	// shapes to guard against coincidental cancellation.
+	for seed := int64(0); seed < 5; seed++ {
+		for _, sh := range [][2]int{{7, 7}, {5, 11}, {11, 11}} {
+			k, p := sh[0], sh[1]
+			c, _ := New(k, p)
+			orig := randStripe(t, k, p, 8, seed)
+			if err := c.Encode(orig, nil); err != nil {
+				t.Fatal(err)
+			}
+			for _, pat := range core.ErasurePairs(k + 2) {
+				s := orig.Clone()
+				if err := c.Decode(s, pat[:], nil); err != nil {
+					t.Fatalf("k=%d p=%d erased=%v seed=%d: %v", k, p, pat, seed, err)
+				}
+				if !s.Equal(orig) {
+					t.Errorf("k=%d p=%d erased=%v seed=%d: wrong reconstruction",
+						k, p, pat, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	cases := [][2]int{{3, 4}, {3, 2}, {5, 9}, {0, 5}, {6, 5}, {-1, 7}}
+	for _, kp := range cases {
+		if _, err := New(kp[0], kp[1]); err == nil {
+			t.Errorf("New(%d,%d) succeeded, want error", kp[0], kp[1])
+		}
+	}
+	for _, k := range []int{1, 2, 3, 10, 23} {
+		c, err := NewAuto(k)
+		if err != nil {
+			t.Fatalf("NewAuto(%d): %v", k, err)
+		}
+		if c.P() < k || !core.IsPrime(c.P()) {
+			t.Errorf("NewAuto(%d) chose p=%d", k, c.P())
+		}
+	}
+}
+
+func ExampleCode_Encode() {
+	c, _ := New(4, 5)
+	s := core.NewStripe(4, 5, 8)
+	s.FillRandom(rand.New(rand.NewSource(1)))
+	var ops core.Ops
+	_ = c.Encode(s, &ops)
+	fmt.Println(ops.XORs == uint64(c.EncodeXORs()))
+	// Output: true
+}

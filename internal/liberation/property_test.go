@@ -1,0 +1,152 @@
+package liberation
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/xorblk"
+)
+
+// TestEncodeLinearity: XOR codes are linear — encode(a ^ b) must equal
+// encode(a) ^ encode(b) strip-wise. Checked by testing/quick over random
+// data and shapes.
+func TestEncodeLinearity(t *testing.T) {
+	shapes := [][2]int{{2, 3}, {4, 5}, {5, 7}, {7, 11}}
+	if err := quick.Check(func(seedA, seedB int64, shapeIdx uint8) bool {
+		sh := shapes[int(shapeIdx)%len(shapes)]
+		k, p := sh[0], sh[1]
+		c, err := New(k, p)
+		if err != nil {
+			return false
+		}
+		a := core.NewStripe(k, p, 8)
+		b := core.NewStripe(k, p, 8)
+		a.FillRandom(rand.New(rand.NewSource(seedA)))
+		b.FillRandom(rand.New(rand.NewSource(seedB)))
+		sum := core.NewStripe(k, p, 8)
+		for col := 0; col < k; col++ {
+			xorblk.Xor(sum.Strips[col], a.Strips[col], b.Strips[col])
+		}
+		if c.Encode(a, nil) != nil || c.Encode(b, nil) != nil || c.Encode(sum, nil) != nil {
+			return false
+		}
+		for col := k; col < k+2; col++ {
+			want := make([]byte, len(sum.Strips[col]))
+			xorblk.Xor(want, a.Strips[col], b.Strips[col])
+			if string(want) != string(sum.Strips[col]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZeroDataZeroParity: the all-zero codeword. Phantom-column logic
+// must not leak garbage into parities.
+func TestZeroDataZeroParity(t *testing.T) {
+	for _, sh := range [][2]int{{1, 3}, {2, 3}, {3, 7}, {6, 13}} {
+		c, _ := New(sh[0], sh[1])
+		s := core.NewStripe(sh[0], sh[1], 16)
+		// Scribble parity strips first: encode must fully overwrite them.
+		rand.New(rand.NewSource(1)).Read(s.Strips[sh[0]])
+		rand.New(rand.NewSource(2)).Read(s.Strips[sh[0]+1])
+		if err := c.Encode(s, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !xorblk.IsZero(s.Strips[sh[0]]) || !xorblk.IsZero(s.Strips[sh[0]+1]) {
+			t.Errorf("k=%d p=%d: zero data produced nonzero parity", sh[0], sh[1])
+		}
+	}
+}
+
+// TestDecodeRandomizedQuick: random shapes, random erasures, random data —
+// decode must restore the stripe.
+func TestDecodeRandomizedQuick(t *testing.T) {
+	if err := quick.Check(func(seed int64, kRaw, pIdx, e1Raw, e2Raw uint8) bool {
+		primes := []int{3, 5, 7, 11, 13, 17}
+		p := primes[int(pIdx)%len(primes)]
+		k := 2 + int(kRaw)%(p-1) // 2..p
+		c, err := New(k, p)
+		if err != nil {
+			return false
+		}
+		s := core.NewStripe(k, p, 8)
+		s.FillRandom(rand.New(rand.NewSource(seed)))
+		if err := c.Encode(s, nil); err != nil {
+			return false
+		}
+		orig := s.Clone()
+		e1 := int(e1Raw) % (k + 2)
+		e2 := int(e2Raw) % (k + 2)
+		erased := []int{e1}
+		if e2 != e1 {
+			erased = append(erased, e2)
+		}
+		for _, e := range erased {
+			rand.New(rand.NewSource(seed + 1)).Read(s.Strips[e])
+		}
+		if err := c.Decode(s, erased, nil); err != nil {
+			return false
+		}
+		return s.Equal(orig)
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentEncodeDecode: a single Code value must be safe for
+// concurrent use (the compiled plans are built exactly once).
+func TestConcurrentEncodeDecode(t *testing.T) {
+	c, _ := New(7, 7)
+	ref := core.NewStripe(7, 7, 32)
+	ref.FillRandom(rand.New(rand.NewSource(3)))
+	if err := c.EncodeNaive(ref, nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := ref.Clone()
+			if g%2 == 0 {
+				if err := c.Encode(s, nil); err != nil {
+					errs <- err
+					return
+				}
+			} else {
+				l, r := g%7, (g+3)%7
+				if l == r {
+					r = (r + 1) % 7
+				}
+				if l > r {
+					l, r = r, l
+				}
+				if err := c.Decode(s, []int{l, r}, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if !s.Equal(ref) {
+				errs <- errMismatch
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent operation corrupted the stripe" }

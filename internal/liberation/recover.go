@@ -1,0 +1,31 @@
+package liberation
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RecoverElement reconstructs a single data element (col, row) into dst
+// when strip col is the only erased strip, reading just the k surviving
+// elements of its row constraint instead of decoding the whole strip —
+// the fast path a real array uses to serve one degraded sector. It does
+// not modify the stripe. Cost: k-1 XORs.
+func (c *Code) RecoverElement(dst []byte, s *core.Stripe, col, row int, ops *core.Ops) error {
+	if err := s.CheckShape(c.k, c.p); err != nil {
+		return err
+	}
+	if col < 0 || col >= c.k || row < 0 || row >= c.p {
+		return fmt.Errorf("%w: element (%d,%d)", core.ErrParams, col, row)
+	}
+	if len(dst) != s.ElemSize {
+		return fmt.Errorf("%w: dst is %d bytes, element is %d", core.ErrParams, len(dst), s.ElemSize)
+	}
+	ops.Copy(dst, s.Elem(c.k, row))
+	for t := 0; t < c.k; t++ {
+		if t != col {
+			ops.XorInto(dst, s.Elem(t, row))
+		}
+	}
+	return nil
+}

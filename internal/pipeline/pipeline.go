@@ -1,0 +1,129 @@
+// Package pipeline parallelizes bulk coding work across stripes. One
+// stripe's encode or decode is inherently sequential (the zig-zag chain
+// carries a dependency), but a large write or a full rebuild spans many
+// independent stripes, which is exactly the parallelism a multi-core
+// storage server exploits. The pool here is a fixed set of workers pulling
+// stripe indices from a channel — no locks on the data path, since every
+// stripe touches disjoint memory and the Code implementations are safe
+// for concurrent use.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Config controls a bulk operation.
+type Config struct {
+	// Workers is the number of concurrent goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EncodeAll encodes every stripe with the given code, in parallel.
+// Per-stripe XOR counts are accumulated into ops (which may be nil).
+func EncodeAll(code core.Code, stripes []*core.Stripe, ops *core.Ops, cfg Config) error {
+	return forEach(stripes, cfg, ops, func(s *core.Stripe, o *core.Ops) error {
+		return code.Encode(s, o)
+	})
+}
+
+// DecodeAll reconstructs the same erased strips in every stripe, in
+// parallel — the shape of a whole-disk rebuild.
+func DecodeAll(code core.Code, stripes []*core.Stripe, erased []int, ops *core.Ops, cfg Config) error {
+	return forEach(stripes, cfg, ops, func(s *core.Stripe, o *core.Ops) error {
+		return code.Decode(s, erased, o)
+	})
+}
+
+// forEach fans the stripes out over the worker pool. Each worker keeps a
+// private Ops and the totals are merged at the end, so counting adds no
+// contention.
+func forEach(stripes []*core.Stripe, cfg Config, ops *core.Ops,
+	fn func(*core.Stripe, *core.Ops) error) error {
+	n := cfg.workers()
+	if n > len(stripes) {
+		n = len(stripes)
+	}
+	if n <= 1 {
+		for _, s := range stripes {
+			if err := fn(s, ops); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan *core.Stripe)
+	errCh := make(chan error, n)
+	partial := make([]core.Ops, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			failed := false
+			for s := range work {
+				if failed {
+					continue // keep draining so the producer never blocks
+				}
+				if err := fn(s, &partial[w]); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					failed = true
+				}
+			}
+		}(w)
+	}
+	for _, s := range stripes {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("pipeline: %w", err)
+	default:
+	}
+	for w := range partial {
+		ops.Add(partial[w])
+	}
+	return nil
+}
+
+// SplitBuffer carves a contiguous data buffer into stripes for the given
+// code and element size, copying the data into the stripes' data strips.
+// The final stripe is zero-padded. It is the standard preparation step
+// for EncodeAll over a large write.
+func SplitBuffer(code core.Code, elemSize int, data []byte) []*core.Stripe {
+	k, w := code.K(), code.W()
+	perStripe := k * w * elemSize
+	n := (len(data) + perStripe - 1) / perStripe
+	if n == 0 {
+		n = 1
+	}
+	stripes := make([]*core.Stripe, n)
+	for i := range stripes {
+		s := core.NewStripe(k, w, elemSize)
+		off := i * perStripe
+		for t := 0; t < k; t++ {
+			lo := off + t*w*elemSize
+			if lo >= len(data) {
+				break
+			}
+			copy(s.Strips[t], data[lo:])
+		}
+		stripes[i] = s
+	}
+	return stripes
+}

@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/liberation"
+)
+
+func TestEncodeAllMatchesSequential(t *testing.T) {
+	code, _ := liberation.New(6, 7)
+	rng := rand.New(rand.NewSource(1))
+	const n = 37
+	parallel := make([]*core.Stripe, n)
+	serial := make([]*core.Stripe, n)
+	for i := range parallel {
+		s := core.NewStripe(6, 7, 64)
+		s.FillRandom(rng)
+		parallel[i] = s
+		serial[i] = s.Clone()
+	}
+	var opsP, opsS core.Ops
+	if err := EncodeAll(code, parallel, &opsP, Config{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeAll(code, serial, &opsS, Config{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range parallel {
+		if !parallel[i].Equal(serial[i]) {
+			t.Fatalf("stripe %d differs between parallel and serial encode", i)
+		}
+	}
+	if opsP.XORs != opsS.XORs {
+		t.Errorf("parallel counted %d XORs, serial %d", opsP.XORs, opsS.XORs)
+	}
+	if want := uint64(n * code.EncodeXORs()); opsS.XORs != want {
+		t.Errorf("total XORs %d, want %d", opsS.XORs, want)
+	}
+}
+
+func TestDecodeAllRebuild(t *testing.T) {
+	code, _ := liberation.New(5, 5)
+	rng := rand.New(rand.NewSource(2))
+	const n = 23
+	stripes := make([]*core.Stripe, n)
+	refs := make([]*core.Stripe, n)
+	for i := range stripes {
+		s := core.NewStripe(5, 5, 32)
+		s.FillRandom(rng)
+		if err := code.Encode(s, nil); err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = s.Clone()
+		s.ZeroStrip(1)
+		s.ZeroStrip(3)
+		stripes[i] = s
+	}
+	if err := DecodeAll(code, stripes, []int{1, 3}, nil, Config{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stripes {
+		if !stripes[i].Equal(refs[i]) {
+			t.Fatalf("stripe %d not rebuilt correctly", i)
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	code, _ := liberation.New(4, 5)
+	stripes := []*core.Stripe{
+		core.NewStripe(4, 5, 8),
+		core.NewStripe(3, 5, 8), // wrong shape: must surface as an error
+		core.NewStripe(4, 5, 8),
+		core.NewStripe(4, 5, 8),
+	}
+	if err := EncodeAll(code, stripes, nil, Config{Workers: 2}); err == nil {
+		t.Error("shape error was swallowed")
+	}
+	if err := EncodeAll(code, stripes, nil, Config{Workers: 1}); err == nil {
+		t.Error("shape error was swallowed (serial)")
+	}
+}
+
+func TestSplitBuffer(t *testing.T) {
+	code, _ := liberation.New(3, 3)
+	data := make([]byte, 3*3*16*2+5) // two full stripes + ragged tail
+	rand.New(rand.NewSource(3)).Read(data)
+	stripes := SplitBuffer(code, 16, data)
+	if len(stripes) != 3 {
+		t.Fatalf("got %d stripes, want 3", len(stripes))
+	}
+	// Reassemble and compare (with zero padding at the end).
+	var reassembled []byte
+	for _, s := range stripes {
+		for t := 0; t < s.K; t++ {
+			reassembled = append(reassembled, s.Strips[t]...)
+		}
+	}
+	for i, b := range data {
+		if reassembled[i] != b {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+	for _, b := range reassembled[len(data):] {
+		if b != 0 {
+			t.Fatal("padding not zeroed")
+		}
+	}
+	if got := len(SplitBuffer(code, 16, nil)); got != 1 {
+		t.Errorf("empty buffer gave %d stripes, want 1", got)
+	}
+}
+
+func BenchmarkEncodeAllWorkers(b *testing.B) {
+	code, _ := liberation.New(10, 11)
+	for _, workers := range []int{1, 2, 4} {
+		stripes := make([]*core.Stripe, 64)
+		for i := range stripes {
+			s := core.NewStripe(10, 11, 4096)
+			s.FillRandom(rand.New(rand.NewSource(int64(i))))
+			stripes[i] = s
+		}
+		bytes := int64(len(stripes) * stripes[0].DataSize())
+		b.Run(benchName(workers), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				if err := EncodeAll(code, stripes, nil, Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return "workers=" + string(rune('0'+workers))
+}

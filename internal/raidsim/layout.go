@@ -1,0 +1,72 @@
+package raidsim
+
+import "fmt"
+
+// Layout maps a stripe's logical strips (0..K-1 data, K = P, K+1 = Q)
+// onto physical disks. Rotating layouts spread parity traffic — and the
+// small-write parity updates the Liberation codes minimize — across all
+// spindles; the dedicated layout (RAID-4 style) concentrates it on two
+// disks, which is simpler but turns them into hot spots.
+type Layout int
+
+const (
+	// LeftSymmetric rotates strips so that parity moves one disk left
+	// every stripe (the common software-RAID default).
+	LeftSymmetric Layout = iota
+	// RightAsymmetric rotates parity right while keeping data order.
+	RightAsymmetric
+	// DedicatedParity pins P and Q to the last two disks (RAID-4 style).
+	DedicatedParity
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LeftSymmetric:
+		return "left-symmetric"
+	case RightAsymmetric:
+		return "right-asymmetric"
+	case DedicatedParity:
+		return "dedicated-parity"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// place returns the disk for logical strip `strip` of `stripe` under the
+// layout, over n disks.
+func (l Layout) place(stripe, strip, n int) int {
+	switch l {
+	case LeftSymmetric:
+		return (strip + stripe) % n
+	case RightAsymmetric:
+		return (strip + n - stripe%n) % n
+	case DedicatedParity:
+		return strip
+	default:
+		panic("raidsim: unknown layout")
+	}
+}
+
+// SetLayout selects the parity placement. It must be called before any
+// data is written (the array does not re-shuffle existing strips).
+func (a *Array) SetLayout(l Layout) error {
+	if l != LeftSymmetric && l != RightAsymmetric && l != DedicatedParity {
+		return fmt.Errorf("%w: layout %d", ErrDiskState, int(l))
+	}
+	a.layout = l
+	return nil
+}
+
+// Layout returns the current parity placement.
+func (a *Array) Layout() Layout { return a.layout }
+
+// ParityDistribution returns, per disk, how many stripes place a parity
+// strip (P or Q) on that disk — the hot-spot profile of the layout.
+func (a *Array) ParityDistribution() []int {
+	out := make([]int, a.n)
+	for stripe := 0; stripe < a.stripes; stripe++ {
+		out[a.diskFor(stripe, a.k)]++
+		out[a.diskFor(stripe, a.k+1)]++
+	}
+	return out
+}

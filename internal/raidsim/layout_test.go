@@ -1,0 +1,95 @@
+package raidsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/liberation"
+)
+
+func TestLayoutsRoundTrip(t *testing.T) {
+	for _, layout := range []Layout{LeftSymmetric, RightAsymmetric, DedicatedParity} {
+		code, _ := liberation.New(5, 5)
+		a, err := New(code, 32, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetLayout(layout); err != nil {
+			t.Fatal(err)
+		}
+		if a.Layout() != layout {
+			t.Fatalf("layout not set")
+		}
+		rng := rand.New(rand.NewSource(int64(layout)))
+		data := make([]byte, a.Capacity())
+		rng.Read(data)
+		if err := a.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		// Fail two disks, read degraded, rebuild, verify.
+		if err := a.FailDisk(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.FailDisk(5); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if err := a.Read(0, got); err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%v: degraded read wrong", layout)
+		}
+		if err := a.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Read(0, got); err != nil || !bytes.Equal(got, data) {
+			t.Errorf("%v: post-rebuild read wrong", layout)
+		}
+	}
+}
+
+func TestParityDistribution(t *testing.T) {
+	code, _ := liberation.New(5, 5)
+	// 14 stripes over 7 disks: rotating layouts give each disk exactly
+	// 14*2/7 = 4 parity strips; dedicated gives 14 each to the last two.
+	a, _ := New(code, 8, 14)
+	for _, tc := range []struct {
+		layout Layout
+		check  func([]int) bool
+	}{
+		{LeftSymmetric, func(d []int) bool {
+			for _, n := range d {
+				if n != 4 {
+					return false
+				}
+			}
+			return true
+		}},
+		{RightAsymmetric, func(d []int) bool {
+			total := 0
+			for _, n := range d {
+				total += n
+			}
+			return total == 28
+		}},
+		{DedicatedParity, func(d []int) bool {
+			return d[5] == 14 && d[6] == 14 && d[0] == 0
+		}},
+	} {
+		if err := a.SetLayout(tc.layout); err != nil {
+			t.Fatal(err)
+		}
+		dist := a.ParityDistribution()
+		if !tc.check(dist) {
+			t.Errorf("%v: parity distribution %v", tc.layout, dist)
+		}
+	}
+	if err := a.SetLayout(Layout(99)); err == nil {
+		t.Error("bogus layout accepted")
+	}
+	if Layout(99).String() == "" || LeftSymmetric.String() != "left-symmetric" {
+		t.Error("Layout.String broken")
+	}
+}

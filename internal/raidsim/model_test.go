@@ -1,0 +1,105 @@
+package raidsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/liberation"
+)
+
+// TestModelBasedRandomOps runs long random operation sequences against
+// the array and a plain byte-slice model in lockstep: writes of random
+// sizes/offsets, reads, disk failures, rebuilds, silent corruption plus
+// scrubs. At every read the array must agree with the model byte for
+// byte — a stateful property test of the whole system.
+func TestModelBasedRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		code, err := liberation.New(5, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(code, 32, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := make([]byte, a.Capacity())
+
+		// Initial fill.
+		rng.Read(model)
+		if err := a.Write(0, model); err != nil {
+			t.Fatal(err)
+		}
+
+		checkRead := func() {
+			t.Helper()
+			off := rng.Intn(a.Capacity())
+			n := 1 + rng.Intn(a.Capacity()-off)
+			got := make([]byte, n)
+			if err := a.Read(off, got); err != nil {
+				t.Fatalf("seed %d: read(%d,%d): %v", seed, off, n, err)
+			}
+			if !bytes.Equal(got, model[off:off+n]) {
+				t.Fatalf("seed %d: read(%d,%d) diverges from model", seed, off, n)
+			}
+		}
+
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // write
+				off := rng.Intn(a.Capacity())
+				n := 1 + rng.Intn(minInt(500, a.Capacity()-off))
+				buf := make([]byte, n)
+				rng.Read(buf)
+				if err := a.Write(off, buf); err != nil {
+					t.Fatalf("seed %d op %d: write: %v", seed, op, err)
+				}
+				copy(model[off:], buf)
+			case 4, 5, 6: // read
+				checkRead()
+			case 7: // fail a disk (if capacity for failure remains)
+				d := rng.Intn(a.NumDisks())
+				err := a.FailDisk(d)
+				if err != nil && err != ErrTooManyFailures {
+					t.Fatalf("seed %d: fail disk: %v", seed, err)
+				}
+			case 8: // rebuild everything
+				if err := a.Rebuild(); err != nil {
+					t.Fatalf("seed %d: rebuild: %v", seed, err)
+				}
+			case 9: // silent corruption + scrub (healthy arrays only)
+				if a.numFailed() > 0 {
+					continue
+				}
+				d := rng.Intn(a.NumDisks())
+				off := rng.Intn(len(a.disks[d]) - 4)
+				if err := a.CorruptDisk(d, off, 4, 0x99); err != nil {
+					t.Fatalf("seed %d: corrupt: %v", seed, err)
+				}
+				if _, err := a.Scrub(); err != nil {
+					t.Fatalf("seed %d: scrub: %v", seed, err)
+				}
+				checkRead()
+			}
+		}
+		// Final integrity pass.
+		if err := a.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+		full := make([]byte, a.Capacity())
+		if err := a.Read(0, full); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(full, model) {
+			t.Fatalf("seed %d: final state diverges from model", seed)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

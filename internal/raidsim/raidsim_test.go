@@ -1,0 +1,244 @@
+package raidsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evenodd"
+	"repro/internal/liberation"
+	"repro/internal/rdp"
+	"repro/internal/rs"
+)
+
+func codesUnderTest(t *testing.T) map[string]core.Code {
+	t.Helper()
+	lib, err := liberation.New(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := evenodd.New(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := rdp.New(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rs.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]core.Code{"liberation": lib, "evenodd": eo, "rdp": rd, "rs": r}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for name, code := range codesUnderTest(t) {
+		a, err := New(code, 32, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		data := make([]byte, a.Capacity())
+		rng.Read(data)
+		if err := a.Write(0, data); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := make([]byte, len(data))
+		if err := a.Read(0, got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: read-back mismatch", name)
+		}
+		// Unaligned partial overwrite.
+		patch := make([]byte, 100)
+		rng.Read(patch)
+		off := 37
+		if err := a.Write(off, patch); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		copy(data[off:], patch)
+		if err := a.Read(0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: partial write broke contents", name)
+		}
+	}
+}
+
+func TestDegradedReadAndRebuild(t *testing.T) {
+	for name, code := range codesUnderTest(t) {
+		a, _ := New(code, 16, 3)
+		rng := rand.New(rand.NewSource(2))
+		data := make([]byte, a.Capacity())
+		rng.Read(data)
+		if err := a.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		// Fail two disks: reads must still return the data.
+		if err := a.FailDisk(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.FailDisk(2); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if err := a.Read(0, got); err != nil {
+			t.Fatalf("%s: degraded read: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: degraded read corrupted data", name)
+		}
+		if a.Stats.DegradedReads == 0 {
+			t.Errorf("%s: degraded reads not counted", name)
+		}
+		// A third failure must be refused.
+		if err := a.FailDisk(4); err != ErrTooManyFailures {
+			t.Errorf("%s: third failure gave %v", name, err)
+		}
+		// Rebuild and verify clean reads.
+		if err := a.Rebuild(); err != nil {
+			t.Fatalf("%s: rebuild: %v", name, err)
+		}
+		before := a.Stats.DegradedReads
+		if err := a.Read(0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: data wrong after rebuild", name)
+		}
+		if a.Stats.DegradedReads != before {
+			t.Errorf("%s: reads still degraded after rebuild", name)
+		}
+	}
+}
+
+func TestDegradedWrite(t *testing.T) {
+	lib, _ := liberation.New(4, 5)
+	a, _ := New(lib, 16, 8)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, a.Capacity())
+	rng.Read(data)
+	if err := a.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	patch := make([]byte, 333)
+	rng.Read(patch)
+	if err := a.Write(1000, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[1000:], patch)
+	got := make([]byte, len(data))
+	if err := a.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("degraded write lost data")
+	}
+	if err := a.ReplaceDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReplaceDisk(1); err == nil {
+		t.Error("replacing a healthy disk should fail")
+	}
+	if err := a.Read(0, got); err != nil || !bytes.Equal(got, data) {
+		t.Error("data wrong after disk replacement")
+	}
+}
+
+func TestSmallWriteUpdateCounters(t *testing.T) {
+	lib, _ := liberation.New(5, 5)
+	a, _ := New(lib, 16, 2)
+	data := make([]byte, a.Capacity())
+	if err := a.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	a.Stats = Stats{}
+	// One element-sized write at an element boundary: exactly one small
+	// write touching 2 (or 3 for extra elements) parity elements.
+	patch := bytes.Repeat([]byte{0xaa}, 16)
+	if err := a.Write(0, patch); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.SmallWrites != 1 {
+		t.Errorf("small writes = %d, want 1", a.Stats.SmallWrites)
+	}
+	if a.Stats.ParityElemWrites < 2 || a.Stats.ParityElemWrites > 3 {
+		t.Errorf("parity element writes = %d, want 2..3", a.Stats.ParityElemWrites)
+	}
+	if a.Stats.StripeEncodes != 0 {
+		t.Errorf("small write triggered %d full encodes", a.Stats.StripeEncodes)
+	}
+}
+
+func TestScrubRepairsSilentCorruption(t *testing.T) {
+	lib, _ := liberation.New(5, 5)
+	a, _ := New(lib, 16, 4)
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, a.Capacity())
+	rng.Read(data)
+	if err := a.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one disk inside stripe 2 (any strip role works).
+	if err := a.CorruptDisk(3, 2*5*16+7, 5, 0x3c); err != nil {
+		t.Fatal(err)
+	}
+	results, err := a.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Stripe != 2 || results[0].Disk != 3 {
+		t.Fatalf("scrub results = %+v", results)
+	}
+	// After repair the array must be fully clean.
+	results, err = a.Scrub()
+	if err != nil || len(results) != 0 {
+		t.Fatalf("second scrub found %v (err=%v)", results, err)
+	}
+	got := make([]byte, len(data))
+	if err := a.Read(0, got); err != nil || !bytes.Equal(got, data) {
+		t.Error("data wrong after scrub repair")
+	}
+}
+
+func TestScrubGenericDetection(t *testing.T) {
+	// Codes without column localization still detect corruption.
+	eo, _ := evenodd.New(4, 5)
+	a, _ := New(eo, 16, 2)
+	data := make([]byte, a.Capacity())
+	if err := a.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CorruptDisk(0, 0, 1, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	results, err := a.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Strip != -1 {
+		t.Fatalf("generic scrub results = %+v", results)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	lib, _ := liberation.New(3, 3)
+	a, _ := New(lib, 8, 1)
+	buf := make([]byte, 10)
+	if err := a.Read(a.Capacity()-5, buf); err != ErrOutOfRange {
+		t.Error("read past end not rejected")
+	}
+	if err := a.Write(-1, buf); err != ErrOutOfRange {
+		t.Error("negative write offset not rejected")
+	}
+	if err := a.FailDisk(99); err == nil {
+		t.Error("bad disk id not rejected")
+	}
+}

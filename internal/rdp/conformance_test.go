@@ -1,0 +1,18 @@
+package rdp_test
+
+import (
+	"testing"
+
+	"repro/internal/codetest"
+	"repro/internal/rdp"
+)
+
+func TestConformance(t *testing.T) {
+	for _, sh := range [][2]int{{1, 3}, {3, 5}, {4, 5}, {6, 7}, {8, 11}} {
+		c, err := rdp.New(sh[0], sh[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codetest.Run(t, c) })
+	}
+}

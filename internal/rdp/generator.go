@@ -1,0 +1,46 @@
+package rdp
+
+import (
+	"fmt"
+
+	"repro/internal/bitmatrix"
+)
+
+// Generator returns the RDP generator bit-matrix (2(p-1) x k(p-1)): rows
+// 0..p-2 describe P, rows p-1.. describe Q with the P-column contribution
+// expanded into its data terms.
+func (c *Code) Generator() *bitmatrix.Matrix {
+	p, k := c.p, c.k
+	w := p - 1
+	m := bitmatrix.New(2*w, k*w)
+	for i := 0; i < w; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j*w+i, true)
+		}
+	}
+	for d := 0; d < w; d++ {
+		for j := 0; j < k; j++ {
+			if row := c.mod(d - j); row != p-1 {
+				m.Flip(w+d, j*w+row)
+			}
+		}
+		// P-column cell of diagonal d expands to the data cells of its row.
+		if row := c.mod(d + 1); row != p-1 {
+			for j := 0; j < k; j++ {
+				m.Flip(w+d, j*w+row)
+			}
+		}
+	}
+	return m
+}
+
+// NewBitmatrix returns a schedule-driven oracle implementation.
+func NewBitmatrix(k, p int) (*bitmatrix.Code, error) {
+	c, err := New(k, p)
+	if err != nil {
+		return nil, err
+	}
+	return bitmatrix.NewCode(
+		fmt.Sprintf("rdp-bitmatrix(k=%d,p=%d)", k, p),
+		k, p-1, c.Generator(), bitmatrix.Dumb, bitmatrix.Smart)
+}

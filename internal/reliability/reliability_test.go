@@ -1,0 +1,117 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func baseParams() Params {
+	return Params{
+		Disks:        12,
+		DiskTB:       16,
+		MTTFHours:    1.2e6,
+		RebuildMBps:  100,
+		UREPerBit:    1e-14,
+		Redundancy:   2,
+		MissionYears: 5,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Disks = 2 },
+		func(p *Params) { p.DiskTB = 0 },
+		func(p *Params) { p.MTTFHours = -1 },
+		func(p *Params) { p.RebuildMBps = 0 },
+		func(p *Params) { p.UREPerBit = -1e-15 },
+		func(p *Params) { p.Redundancy = 0 },
+		func(p *Params) { p.Redundancy = 12 },
+		func(p *Params) { p.MissionYears = 0 },
+	}
+	for i, mutate := range bad {
+		p := baseParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+	if _, err := Simulate(baseParams(), 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRebuildHours(t *testing.T) {
+	p := baseParams()
+	// 16 TB at 100 MB/s = 1.6e5 seconds = ~44.4 hours.
+	if got := p.RebuildHours(); math.Abs(got-44.44) > 0.1 {
+		t.Errorf("rebuild hours = %.2f, want ~44.4", got)
+	}
+}
+
+func TestRAID6BeatsRAID5(t *testing.T) {
+	// The paper's opening claim, quantified: at modern capacities and URE
+	// rates, RAID-5 loses data in a meaningful fraction of missions while
+	// RAID-6 survives essentially always.
+	r5, r6, err := CompareRAID5(baseParams(), 4000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, p6 := r5.LossProbability(), r6.LossProbability()
+	if p5 < 0.01 {
+		t.Errorf("RAID-5 loss probability %.4f implausibly low for 16TB SATA disks", p5)
+	}
+	if p6 >= p5/10 {
+		t.Errorf("RAID-6 (%.5f) not at least 10x safer than RAID-5 (%.5f)", p6, p5)
+	}
+	// With SATA-class URE rates, most RAID-5 losses come from UREs during
+	// the unprotected rebuild, not from a second whole-disk failure.
+	if r5.LossByURE <= r5.LossByDisks {
+		t.Errorf("RAID-5 losses: %d by URE vs %d by disk — expected URE-dominated",
+			r5.LossByURE, r5.LossByDisks)
+	}
+}
+
+func TestMonotonicInURE(t *testing.T) {
+	p := baseParams()
+	p.Redundancy = 1
+	p.UREPerBit = 0
+	clean, err := Simulate(p, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.UREPerBit = 1e-14
+	dirty, err := Simulate(p, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Losses <= clean.Losses {
+		t.Errorf("URE rate did not increase losses: %d vs %d", dirty.Losses, clean.Losses)
+	}
+	if clean.LossByURE != 0 {
+		t.Errorf("URE losses with zero URE rate: %d", clean.LossByURE)
+	}
+}
+
+func TestFasterRebuildHelps(t *testing.T) {
+	slow := baseParams()
+	slow.Redundancy = 1
+	slow.RebuildMBps = 25
+	fast := slow
+	fast.RebuildMBps = 400
+	rs, err := Simulate(slow, 3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Simulate(fast, 3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.LossByDisks >= rs.LossByDisks && rs.LossByDisks > 10 {
+		t.Errorf("faster rebuild did not reduce double-failure losses: %d vs %d",
+			rf.LossByDisks, rs.LossByDisks)
+	}
+}

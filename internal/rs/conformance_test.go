@@ -1,0 +1,18 @@
+package rs_test
+
+import (
+	"testing"
+
+	"repro/internal/codetest"
+	"repro/internal/rs"
+)
+
+func TestConformance(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 12, 40} {
+		c, err := rs.New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(c.Name(), func(t *testing.T) { codetest.Run(t, c) })
+	}
+}

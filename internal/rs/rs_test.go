@@ -1,0 +1,68 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDecodeAllPatterns(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8, 16, 64, 255} {
+		c, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := core.NewStripe(k, 1, 64)
+		orig.FillRandom(rand.New(rand.NewSource(int64(k))))
+		if err := c.Encode(orig, nil); err != nil {
+			t.Fatal(err)
+		}
+		patterns := core.ErasurePairs(k + 2)
+		if k > 16 {
+			patterns = patterns[:200] // keep the 255-strip sweep bounded
+		}
+		for e := 0; e < k+2; e++ {
+			patterns = append(patterns, [2]int{e, e})
+		}
+		for _, pat := range patterns {
+			s := orig.Clone()
+			erased := []int{pat[0], pat[1]}
+			if pat[0] == pat[1] {
+				erased = erased[:1]
+			}
+			for _, e := range erased {
+				rand.New(rand.NewSource(1)).Read(s.Strips[e])
+			}
+			if err := c.Decode(s, erased, nil); err != nil {
+				t.Fatalf("k=%d erased=%v: %v", k, erased, err)
+			}
+			if !s.Equal(orig) {
+				t.Errorf("k=%d erased=%v: decode failed", k, erased)
+			}
+		}
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	for _, k := range []int{0, -1, 256, 1000} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d) succeeded, want error", k)
+		}
+	}
+}
+
+func TestQIsNotP(t *testing.T) {
+	// Q must differ from P for k >= 2 on non-uniform data (a classic
+	// implementation bug is Q degenerating into a second XOR parity).
+	c, _ := New(4)
+	s := core.NewStripe(4, 1, 16)
+	s.Strips[0][0] = 1
+	s.Strips[1][0] = 2
+	if err := c.Encode(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Strips[4]) == string(s.Strips[5]) {
+		t.Error("P and Q are identical on asymmetric data")
+	}
+}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/liberation"
+	"repro/internal/pipeline"
+)
+
+// EncodeParallel is Encode with the stripe encoding fanned out over a
+// worker pool: stripes are read in batches, encoded concurrently (each
+// stripe is independent), and written out in order so shard files and
+// checksums are byte-identical to the sequential path.
+func EncodeParallel(r io.Reader, size int64, fileName string, k, p, elemSize int,
+	outDir string, workers int) (*Manifest, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("%w: negative size", core.ErrParams)
+	}
+	var code *liberation.Code
+	var err error
+	if p == 0 {
+		code, err = liberation.NewAuto(k)
+	} else {
+		code, err = liberation.New(k, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w := code.W()
+	perStripe := int64(k) * int64(w) * int64(elemSize)
+	stripes := int((size + perStripe - 1) / perStripe)
+	if stripes == 0 {
+		stripes = 1
+	}
+	m := &Manifest{
+		Version:  FormatVersion,
+		Code:     "liberation",
+		K:        k,
+		P:        code.P(),
+		ElemSize: elemSize,
+		FileName: filepath.Base(fileName),
+		FileSize: size,
+		Stripes:  stripes,
+	}
+
+	files := make([]*os.File, k+2)
+	sums := make([]uint32, k+2)
+	for i := range files {
+		f, err := os.Create(filepath.Join(outDir, m.ShardName(i)))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		files[i] = f
+	}
+
+	const batchStripes = 32
+	batch := make([]*core.Stripe, 0, batchStripes)
+	for i := 0; i < batchStripes; i++ {
+		batch = append(batch, core.NewStripe(k, w, elemSize))
+	}
+	buf := make([]byte, perStripe)
+	var consumed int64
+	for done := 0; done < stripes; {
+		n := batchStripes
+		if rem := stripes - done; n > rem {
+			n = rem
+		}
+		for b := 0; b < n; b++ {
+			s := batch[b]
+			got, err := io.ReadFull(r, buf)
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				for i := got; i < len(buf); i++ {
+					buf[i] = 0
+				}
+			} else if err != nil {
+				return nil, err
+			}
+			consumed += int64(got)
+			for t := 0; t < k; t++ {
+				copy(s.Strips[t], buf[t*w*elemSize:])
+			}
+		}
+		if err := pipeline.EncodeAll(code, batch[:n], nil, pipeline.Config{Workers: workers}); err != nil {
+			return nil, err
+		}
+		for b := 0; b < n; b++ {
+			for i := 0; i < k+2; i++ {
+				if _, err := files[i].Write(batch[b].Strips[i]); err != nil {
+					return nil, err
+				}
+				sums[i] = crc32.Update(sums[i], crc32.IEEETable, batch[b].Strips[i])
+			}
+		}
+		done += n
+	}
+	if consumed != size {
+		return nil, fmt.Errorf("shard: read %d bytes, expected %d", consumed, size)
+	}
+	m.Checksums = sums
+
+	mf, err := os.Create(filepath.Join(outDir, ManifestName(m.FileName)))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

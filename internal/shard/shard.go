@@ -1,0 +1,305 @@
+// Package shard applies the Liberation codes to whole files: a file is
+// striped into k data shards plus P and Q shards, any two of which may be
+// lost (or silently corrupted — detected via per-shard checksums) while
+// the file remains recoverable. It is the library behind the raidcli
+// tool and doubles as an end-to-end exercise of the public coding API.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/liberation"
+)
+
+// FormatVersion identifies the manifest/shard layout.
+const FormatVersion = 1
+
+// Manifest describes an encoded shard set. It is stored as JSON next to
+// the shards.
+type Manifest struct {
+	Version  int    `json:"version"`
+	Code     string `json:"code"` // always "liberation"
+	K        int    `json:"k"`
+	P        int    `json:"p"`
+	ElemSize int    `json:"elem_size"`
+	FileName string `json:"file_name"`
+	FileSize int64  `json:"file_size"`
+	Stripes  int    `json:"stripes"`
+	// Checksums holds one CRC-32 (IEEE) per shard, indexed by strip
+	// (0..k-1 data, k = P, k+1 = Q).
+	Checksums []uint32 `json:"checksums"`
+}
+
+// ShardName returns the file name of strip i's shard.
+func (m *Manifest) ShardName(i int) string {
+	switch {
+	case i == m.K:
+		return fmt.Sprintf("%s.shard.p", m.FileName)
+	case i == m.K+1:
+		return fmt.Sprintf("%s.shard.q", m.FileName)
+	default:
+		return fmt.Sprintf("%s.shard.d%02d", m.FileName, i)
+	}
+}
+
+// ManifestName returns the manifest file name for a given input name.
+func ManifestName(fileName string) string { return fileName + ".manifest.json" }
+
+// Encode splits the contents of r (size bytes) into k+2 shards written to
+// outDir, returning the manifest (also written to outDir). p = 0 selects
+// the smallest usable prime automatically.
+func Encode(r io.Reader, size int64, fileName string, k, p, elemSize int, outDir string) (*Manifest, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("%w: negative size", core.ErrParams)
+	}
+	var code *liberation.Code
+	var err error
+	if p == 0 {
+		code, err = liberation.NewAuto(k)
+	} else {
+		code, err = liberation.New(k, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w := code.W()
+	perStripe := int64(k) * int64(w) * int64(elemSize)
+	stripes := int((size + perStripe - 1) / perStripe)
+	if stripes == 0 {
+		stripes = 1
+	}
+	m := &Manifest{
+		Version:  FormatVersion,
+		Code:     "liberation",
+		K:        k,
+		P:        code.P(),
+		ElemSize: elemSize,
+		FileName: filepath.Base(fileName),
+		FileSize: size,
+		Stripes:  stripes,
+	}
+
+	files := make([]*os.File, k+2)
+	sums := make([]uint32, k+2)
+	for i := range files {
+		f, err := os.Create(filepath.Join(outDir, m.ShardName(i)))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		files[i] = f
+	}
+
+	stripe := core.NewStripe(k, w, elemSize)
+	buf := make([]byte, perStripe)
+	var consumed int64
+	for s := 0; s < stripes; s++ {
+		n, err := io.ReadFull(r, buf)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			for i := n; i < len(buf); i++ {
+				buf[i] = 0
+			}
+		} else if err != nil {
+			return nil, err
+		}
+		consumed += int64(n)
+		for t := 0; t < k; t++ {
+			copy(stripe.Strips[t], buf[t*w*elemSize:])
+		}
+		if err := code.Encode(stripe, nil); err != nil {
+			return nil, err
+		}
+		for i := 0; i < k+2; i++ {
+			if _, err := files[i].Write(stripe.Strips[i]); err != nil {
+				return nil, err
+			}
+			sums[i] = crc32.Update(sums[i], crc32.IEEETable, stripe.Strips[i])
+		}
+	}
+	if consumed != size {
+		return nil, fmt.Errorf("shard: read %d bytes, expected %d", consumed, size)
+	}
+	m.Checksums = sums
+
+	mf, err := os.Create(filepath.Join(outDir, ManifestName(m.FileName)))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: bad manifest: %w", err)
+	}
+	if m.Version != FormatVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d", m.Version)
+	}
+	if m.Code != "liberation" {
+		return nil, fmt.Errorf("shard: unsupported code %q", m.Code)
+	}
+	if len(m.Checksums) != m.K+2 {
+		return nil, fmt.Errorf("shard: manifest has %d checksums, want %d",
+			len(m.Checksums), m.K+2)
+	}
+	return &m, nil
+}
+
+// ShardStatus describes one shard's health during recovery.
+type ShardStatus struct {
+	Index   int
+	Name    string
+	Present bool
+	Valid   bool // checksum matched
+}
+
+// Decode reconstructs the original file from the shard set described by
+// the manifest at manifestPath (shards are looked up in the same
+// directory) and writes it to w. Missing or checksum-corrupt shards are
+// treated as erasures; up to two are tolerated. It returns the per-shard
+// status that recovery observed.
+func Decode(manifestPath string, w io.Writer) ([]ShardStatus, error) {
+	m, err := LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(manifestPath)
+	code, err := liberation.New(m.K, m.P)
+	if err != nil {
+		return nil, err
+	}
+	width := code.W()
+	stripBytes := width * m.ElemSize
+	shardSize := int64(m.Stripes) * int64(stripBytes)
+
+	status := make([]ShardStatus, m.K+2)
+	data := make([][]byte, m.K+2)
+	var erased []int
+	for i := range status {
+		status[i] = ShardStatus{Index: i, Name: m.ShardName(i)}
+		b, err := os.ReadFile(filepath.Join(dir, m.ShardName(i)))
+		switch {
+		case err != nil:
+			erased = append(erased, i)
+		case int64(len(b)) != shardSize:
+			erased = append(erased, i)
+			status[i].Present = true
+		case crc32.ChecksumIEEE(b) != m.Checksums[i]:
+			erased = append(erased, i)
+			status[i].Present = true
+		default:
+			status[i].Present, status[i].Valid = true, true
+			data[i] = b
+		}
+	}
+	if len(erased) > 2 {
+		return status, fmt.Errorf("shard: %d shards unusable, can recover at most 2", len(erased))
+	}
+	for _, e := range erased {
+		data[e] = make([]byte, shardSize)
+	}
+
+	stripe := core.NewStripe(m.K, width, m.ElemSize)
+	remaining := m.FileSize
+	for s := 0; s < m.Stripes; s++ {
+		off := s * stripBytes
+		for i := 0; i < m.K+2; i++ {
+			copy(stripe.Strips[i], data[i][off:off+stripBytes])
+		}
+		if len(erased) > 0 {
+			if err := code.Decode(stripe, erased, nil); err != nil {
+				return status, err
+			}
+		}
+		for t := 0; t < m.K && remaining > 0; t++ {
+			n := int64(stripBytes)
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := w.Write(stripe.Strips[t][:n]); err != nil {
+				return status, err
+			}
+			remaining -= n
+		}
+	}
+	if remaining != 0 {
+		return status, fmt.Errorf("shard: %d bytes unaccounted for", remaining)
+	}
+	return status, nil
+}
+
+// Repair reconstructs missing/corrupt shards in place (writing repaired
+// shard files back into the manifest's directory) and returns the indices
+// repaired.
+func Repair(manifestPath string) ([]int, error) {
+	m, err := LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(manifestPath)
+	code, err := liberation.New(m.K, m.P)
+	if err != nil {
+		return nil, err
+	}
+	width := code.W()
+	stripBytes := width * m.ElemSize
+	shardSize := int64(m.Stripes) * int64(stripBytes)
+
+	data := make([][]byte, m.K+2)
+	var erased []int
+	for i := range data {
+		b, err := os.ReadFile(filepath.Join(dir, m.ShardName(i)))
+		if err != nil || int64(len(b)) != shardSize || crc32.ChecksumIEEE(b) != m.Checksums[i] {
+			erased = append(erased, i)
+			data[i] = make([]byte, shardSize)
+			continue
+		}
+		data[i] = b
+	}
+	if len(erased) == 0 {
+		return nil, nil
+	}
+	if len(erased) > 2 {
+		return nil, fmt.Errorf("shard: %d shards unusable, can repair at most 2", len(erased))
+	}
+	stripe := core.NewStripe(m.K, width, m.ElemSize)
+	for s := 0; s < m.Stripes; s++ {
+		off := s * stripBytes
+		for i := range data {
+			copy(stripe.Strips[i], data[i][off:off+stripBytes])
+		}
+		if err := code.Decode(stripe, erased, nil); err != nil {
+			return nil, err
+		}
+		for _, e := range erased {
+			copy(data[e][off:off+stripBytes], stripe.Strips[e])
+		}
+	}
+	for _, e := range erased {
+		if crc32.ChecksumIEEE(data[e]) != m.Checksums[e] {
+			return nil, fmt.Errorf("shard: repaired shard %d fails its checksum", e)
+		}
+		if err := os.WriteFile(filepath.Join(dir, m.ShardName(e)), data[e], 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return erased, nil
+}

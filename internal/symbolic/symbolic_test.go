@@ -1,0 +1,112 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crs"
+	"repro/internal/liberation"
+)
+
+// TestOptimalEncodeProven machine-checks, for every (k, p) in the sweep,
+// that Algorithm 1's compiled plan computes exactly the Liberation
+// generator map — a proof over GF(2), independent of test data.
+func TestOptimalEncodeProven(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11, 13, 17, 19} {
+		for k := 1; k <= p; k++ {
+			c, err := liberation.New(k, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyEncode(k, p, c.Generator(), c.EncodeSchedule()); err != nil {
+				t.Errorf("k=%d p=%d: %v", k, p, err)
+			}
+		}
+	}
+}
+
+// TestOptimalDecodeProven machine-checks Algorithms 2-4 for every
+// two-data-column erasure of every (k, p) in the sweep.
+func TestOptimalDecodeProven(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11, 13, 17} {
+		for k := 2; k <= p; k++ {
+			c, err := liberation.New(k, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := c.Generator()
+			for _, pat := range core.DataErasurePairs(k) {
+				sch, err := c.DataPairSchedule(pat[0], pat[1])
+				if err != nil {
+					t.Fatalf("k=%d p=%d %v: %v", k, p, pat, err)
+				}
+				if err := VerifyDecode(k, p, gen, pat[:], sch); err != nil {
+					t.Errorf("k=%d p=%d erased=%v: %v", k, p, pat, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOriginalDecodeProven machine-checks the bit-matrix (Jerasure-style)
+// decode schedules the original implementation uses, for every erasure
+// pattern including parity strips.
+func TestOriginalDecodeProven(t *testing.T) {
+	for _, sh := range [][2]int{{3, 5}, {5, 5}, {7, 7}, {6, 11}} {
+		k, p := sh[0], sh[1]
+		oc, err := liberation.NewOriginal(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := oc.Generator()
+		for _, pat := range core.ErasurePairs(k + 2) {
+			sch, err := oc.DecodeSchedule(pat[:])
+			if err != nil {
+				t.Fatalf("k=%d p=%d %v: %v", k, p, pat, err)
+			}
+			if err := VerifyDecode(k, p, gen, pat[:], sch); err != nil {
+				t.Errorf("k=%d p=%d erased=%v: %v", k, p, pat, err)
+			}
+		}
+	}
+}
+
+// TestCRSProven machine-checks the Cauchy Reed-Solomon schedules.
+func TestCRSProven(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		c, err := crs.New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := c.Generator()
+		for _, pat := range core.ErasurePairs(k + 2) {
+			sch, err := c.DecodeSchedule(pat[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyDecode(k, crs.W, gen, pat[:], sch); err != nil {
+				t.Errorf("k=%d erased=%v: %v", k, pat, err)
+			}
+		}
+	}
+}
+
+// TestVerifyCatchesWrongSchedules ensures the checker is not vacuous: a
+// truncated schedule and a corrupted schedule must both be rejected.
+func TestVerifyCatchesWrongSchedules(t *testing.T) {
+	c, _ := liberation.New(5, 5)
+	gen := c.Generator()
+	sch := c.EncodeSchedule()
+	if err := VerifyEncode(5, 5, gen, sch[:len(sch)-3]); err == nil {
+		t.Error("truncated schedule accepted")
+	}
+	mangled := append(sch[:0:0], sch...)
+	mangled[4].SrcRow = (mangled[4].SrcRow + 1) % 5
+	if err := VerifyEncode(5, 5, gen, mangled); err == nil {
+		t.Error("mangled schedule accepted")
+	}
+	dec, _ := c.DataPairSchedule(1, 3)
+	if err := VerifyDecode(5, 5, gen, []int{1, 3}, dec[:len(dec)-2]); err == nil {
+		t.Error("truncated decode schedule accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/evenodd"
+	"repro/internal/liberation"
+	"repro/internal/raidsim"
+)
+
+func newArray(t *testing.T) *raidsim.Array {
+	t.Helper()
+	code, err := liberation.New(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := raidsim.New(code, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSequentialUsesFullStripeEncodes(t *testing.T) {
+	a := newArray(t)
+	stripeBytes := 5 * 5 * 64
+	res, err := Run(a, Spec{Kind: Sequential, Ops: 16, WriteSize: stripeBytes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallWrites != 0 {
+		t.Errorf("sequential full-stripe workload did %d small writes", res.SmallWrites)
+	}
+	if res.StripeEncodes != 16 {
+		t.Errorf("stripe encodes = %d, want 16", res.StripeEncodes)
+	}
+	if res.BytesWritten != int64(16*stripeBytes) {
+		t.Errorf("bytes written = %d", res.BytesWritten)
+	}
+}
+
+func TestRandomSmallWriteAmplification(t *testing.T) {
+	a := newArray(t)
+	res, err := Run(a, Spec{Kind: RandomSmall, Ops: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallWrites != 200 {
+		t.Errorf("small writes = %d, want 200", res.SmallWrites)
+	}
+	// Liberation floor: 1 data + ~2 parity elements per element write.
+	wa := res.WriteAmplification(64)
+	if wa < 2.9 || wa > 3.3 {
+		t.Errorf("write amplification %.3f outside the Liberation band", wa)
+	}
+}
+
+func TestZipfSkewAndComparison(t *testing.T) {
+	a := newArray(t)
+	res, err := Run(a, Spec{Kind: ZipfSmall, Ops: 300, Seed: 3, ZipfS: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallWrites != 300 {
+		t.Errorf("zipf small writes = %d, want 300", res.SmallWrites)
+	}
+	// EVENODD on the same workload must rewrite more parity elements
+	// (update complexity ~3 vs ~2).
+	eo, err := evenodd.New(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := raidsim.New(eo, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := Run(ea, Spec{Kind: ZipfSmall, Ops: 300, Seed: 3, ZipfS: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOpLib := float64(res.ParityElemWrites) / 300
+	perOpEO := float64(eres.ParityElemWrites) / 300
+	if perOpLib >= perOpEO {
+		t.Errorf("liberation parity writes/op %.2f not below EVENODD %.2f", perOpLib, perOpEO)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{}
+	if r.DataMBps() != 0 || r.WriteAmplification(64) != 0 {
+		t.Error("zero-value result helpers must return 0")
+	}
+	if Sequential.String() != "sequential" || RandomSmall.String() != "random-small" ||
+		ZipfSmall.String() != "zipf-small" || Kind(9).String() != "kind(9)" {
+		t.Error("Kind.String broken")
+	}
+	if _, err := Run(newArray(t), Spec{Kind: Kind(9), Ops: 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

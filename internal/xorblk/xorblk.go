@@ -1,0 +1,165 @@
+// Package xorblk provides word-oriented XOR kernels for erasure coding.
+//
+// All RAID-6 array codes in this repository perform their arithmetic as
+// XORs of fixed-size byte blocks ("elements" in the paper's terminology:
+// one element is a machine-word multiple, typically a 4KB or 8KB block, so
+// that 8*elemSize codewords are encoded in parallel by each block XOR).
+// The kernels here are the only place data bytes are actually touched;
+// everything above them manipulates element indices.
+//
+// The kernels process 8-byte words via encoding/binary (which the compiler
+// lowers to single loads/stores on little-endian machines) with a 4-way
+// unrolled main loop, and fall back to byte-at-a-time for ragged tails.
+package xorblk
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Xor sets dst = a ^ b. All three slices must have the same length and may
+// not partially overlap (dst == a or dst == b is allowed).
+func Xor(dst, a, b []byte) {
+	n := len(dst)
+	if len(a) != n || len(b) != n {
+		panic("xorblk: length mismatch")
+	}
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		w0 := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		w1 := binary.LittleEndian.Uint64(a[i+8:]) ^ binary.LittleEndian.Uint64(b[i+8:])
+		w2 := binary.LittleEndian.Uint64(a[i+16:]) ^ binary.LittleEndian.Uint64(b[i+16:])
+		w3 := binary.LittleEndian.Uint64(a[i+24:]) ^ binary.LittleEndian.Uint64(b[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+8:], w1)
+		binary.LittleEndian.PutUint64(dst[i+16:], w2)
+		binary.LittleEndian.PutUint64(dst[i+24:], w3)
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// XorInto sets dst ^= src. Both slices must have the same length.
+func XorInto(dst, src []byte) {
+	n := len(dst)
+	if len(src) != n {
+		panic("xorblk: length mismatch")
+	}
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		w0 := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
+		w1 := binary.LittleEndian.Uint64(dst[i+8:]) ^ binary.LittleEndian.Uint64(src[i+8:])
+		w2 := binary.LittleEndian.Uint64(dst[i+16:]) ^ binary.LittleEndian.Uint64(src[i+16:])
+		w3 := binary.LittleEndian.Uint64(dst[i+24:]) ^ binary.LittleEndian.Uint64(src[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+8:], w1)
+		binary.LittleEndian.PutUint64(dst[i+16:], w2)
+		binary.LittleEndian.PutUint64(dst[i+24:], w3)
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorMany sets dst = srcs[0] ^ srcs[1] ^ ... ^ srcs[len-1].
+// It requires at least one source. Sources must all match len(dst).
+func XorMany(dst []byte, srcs ...[]byte) {
+	if len(srcs) == 0 {
+		panic("xorblk: XorMany requires at least one source")
+	}
+	copy(dst, srcs[0])
+	for _, s := range srcs[1:] {
+		XorInto(dst, s)
+	}
+}
+
+// IsZero reports whether every byte of b is zero.
+func IsZero(b []byte) bool {
+	i := 0
+	n := len(b)
+	var acc uint64
+	for ; i+8 <= n; i += 8 {
+		acc |= binary.LittleEndian.Uint64(b[i:])
+	}
+	for ; i < n; i++ {
+		acc |= uint64(b[i])
+	}
+	return acc == 0
+}
+
+// ParallelXorInto sets dst ^= src, splitting the work across the given
+// number of goroutines. It is profitable only for blocks much larger than
+// a cache line; callers should fall back to XorInto for small blocks.
+func ParallelXorInto(dst, src []byte, workers int) {
+	n := len(dst)
+	if len(src) != n {
+		panic("xorblk: length mismatch")
+	}
+	if workers <= 1 || n < 1<<14 {
+		XorInto(dst, src)
+		return
+	}
+	chunk := (n/workers + 63) &^ 63 // cache-line aligned chunks
+	if chunk == 0 {
+		chunk = n
+	}
+	var wg sync.WaitGroup
+	for off := 0; off < n; off += chunk {
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(d, s []byte) {
+			defer wg.Done()
+			XorInto(d, s)
+		}(dst[off:end], src[off:end])
+	}
+	wg.Wait()
+}
+
+// XorInto2 sets dst ^= a ^ b in a single pass over dst.
+func XorInto2(dst, a, b []byte) {
+	n := len(dst)
+	if len(a) != n || len(b) != n {
+		panic("xorblk: length mismatch")
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^
+				binary.LittleEndian.Uint64(a[i:])^
+				binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= a[i] ^ b[i]
+	}
+}
+
+// XorInto3 sets dst ^= a ^ b ^ c in a single pass over dst.
+func XorInto3(dst, a, b, c []byte) {
+	n := len(dst)
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("xorblk: length mismatch")
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^
+				binary.LittleEndian.Uint64(a[i:])^
+				binary.LittleEndian.Uint64(b[i:])^
+				binary.LittleEndian.Uint64(c[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i]
+	}
+}

@@ -1,0 +1,184 @@
+package xorblk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refXor is the obvious byte-loop reference.
+func refXor(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+func TestXorAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 200; n++ {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		dst := make([]byte, n)
+		Xor(dst, a, b)
+		if !bytes.Equal(dst, refXor(a, b)) {
+			t.Fatalf("Xor wrong at n=%d", n)
+		}
+		acc := append([]byte(nil), a...)
+		XorInto(acc, b)
+		if !bytes.Equal(acc, refXor(a, b)) {
+			t.Fatalf("XorInto wrong at n=%d", n)
+		}
+	}
+}
+
+func TestXorAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]byte, 100)
+	b := make([]byte, 100)
+	rng.Read(a)
+	rng.Read(b)
+	want := refXor(a, b)
+	dst := append([]byte(nil), a...)
+	Xor(dst, dst, b) // dst aliases a
+	if !bytes.Equal(dst, want) {
+		t.Error("Xor with dst==a wrong")
+	}
+	dst = append([]byte(nil), b...)
+	Xor(dst, a, dst) // dst aliases b
+	if !bytes.Equal(dst, want) {
+		t.Error("Xor with dst==b wrong")
+	}
+}
+
+func TestXorProperties(t *testing.T) {
+	// Self-inverse: (a ^ b) ^ b == a, for arbitrary slices.
+	if err := quick.Check(func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		acc := append([]byte(nil), a...)
+		XorInto(acc, b)
+		XorInto(acc, b)
+		return bytes.Equal(acc, a)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	srcs := make([][]byte, 5)
+	want := make([]byte, 77)
+	for i := range srcs {
+		srcs[i] = make([]byte, 77)
+		rng.Read(srcs[i])
+		for j := range want {
+			want[j] ^= srcs[i][j]
+		}
+	}
+	dst := make([]byte, 77)
+	XorMany(dst, srcs...)
+	if !bytes.Equal(dst, want) {
+		t.Error("XorMany wrong")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	for n := 0; n < 64; n++ {
+		b := make([]byte, n)
+		if !IsZero(b) {
+			t.Fatalf("IsZero(zeros[%d]) = false", n)
+		}
+		if n > 0 {
+			for pos := 0; pos < n; pos++ {
+				b[pos] = 1
+				if IsZero(b) {
+					t.Fatalf("IsZero missed byte at %d/%d", pos, n)
+				}
+				b[pos] = 0
+			}
+		}
+	}
+}
+
+func TestParallelXorInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 100, 1 << 14, 1<<16 + 13} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		want := refXor(a, b)
+		for _, workers := range []int{1, 2, 4, 7} {
+			acc := append([]byte(nil), a...)
+			ParallelXorInto(acc, b, workers)
+			if !bytes.Equal(acc, want) {
+				t.Fatalf("ParallelXorInto wrong at n=%d workers=%d", n, workers)
+			}
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	XorInto(make([]byte, 4), make([]byte, 5))
+}
+
+func BenchmarkXorInto4K(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		XorInto(dst, src)
+	}
+}
+
+func BenchmarkXorInto64K(b *testing.B) {
+	dst := make([]byte, 65536)
+	src := make([]byte, 65536)
+	b.SetBytes(65536)
+	for i := 0; i < b.N; i++ {
+		XorInto(dst, src)
+	}
+}
+
+func TestXorIntoMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 7, 8, 33, 100} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		c := make([]byte, n)
+		d0 := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		rng.Read(c)
+		rng.Read(d0)
+
+		want := append([]byte(nil), d0...)
+		XorInto(want, a)
+		XorInto(want, b)
+		got := append([]byte(nil), d0...)
+		XorInto2(got, a, b)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("XorInto2 wrong at n=%d", n)
+		}
+
+		XorInto(want, c)
+		got = append([]byte(nil), d0...)
+		XorInto3(got, a, b, c)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("XorInto3 wrong at n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+# Build/verify entry points. `make check` is the full pre-commit gate.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench bench-obs clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with concurrency (plus everything
+# else — the repo is small enough).
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: vet fmt test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+# Emit artifacts/BENCH_obs.json: the metric snapshot of a deterministic
+# instrumented workload (XOR-per-bit rates, span accounting).
+# -count=1 defeats the test cache: the artifact is written by TestMain,
+# which does not run when the result is served from cache.
+bench-obs:
+	BENCH_OBS_JSON=artifacts/BENCH_obs.json $(GO) test -count=1 -run TestObservedWorkloadDeterministic .
+
+clean:
+	$(GO) clean ./...

@@ -12,9 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -67,6 +71,7 @@ func cmdEncode(args []string) error {
 	elem := fs.Int("elem", 4096, "element size in bytes")
 	out := fs.String("out", ".", "output directory")
 	workers := fs.Int("workers", 1, "parallel encoding workers (0 = all cores)")
+	stats := fs.Bool("stats", false, "print operation statistics")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("encode needs exactly one input file")
@@ -81,23 +86,29 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+	}
 	var m *shard.Manifest
 	if *workers == 1 {
-		m, err = shard.Encode(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out)
+		m, err = shard.EncodeObserved(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, reg)
 	} else {
-		m, err = shard.EncodeParallel(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, *workers)
+		m, err = shard.EncodeParallelObserved(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, *workers, reg)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("encoded %s (%d bytes) as %d+2 shards (p=%d, %d stripes, element %dB) in %s\n",
 		m.FileName, m.FileSize, m.K, m.P, m.Stripes, m.ElemSize, *out)
+	printStats(os.Stdout, reg, m.K)
 	return nil
 }
 
 func cmdDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	out := fs.String("out", "", "output file (default: recovered.<name>)")
+	stats := fs.Bool("stats", false, "print operation statistics")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("decode needs exactly one manifest")
@@ -116,7 +127,11 @@ func cmdDecode(args []string) error {
 		return err
 	}
 	defer f.Close()
-	status, err := shard.Decode(manifest, f)
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+	}
+	status, err := shard.DecodeObserved(manifest, f, reg)
 	for _, st := range status {
 		mark := "ok"
 		switch {
@@ -131,24 +146,35 @@ func cmdDecode(args []string) error {
 		return err
 	}
 	fmt.Printf("recovered %d bytes into %s\n", m.FileSize, dest)
+	printStats(os.Stdout, reg, m.K)
 	return nil
 }
 
 func cmdRepair(args []string) error {
 	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	stats := fs.Bool("stats", false, "print operation statistics")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("repair needs exactly one manifest")
 	}
-	repaired, err := shard.Repair(fs.Arg(0))
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+	}
+	m, err := shard.LoadManifest(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	repaired, err := shard.RepairObserved(fs.Arg(0), reg)
 	if err != nil {
 		return err
 	}
 	if len(repaired) == 0 {
 		fmt.Println("all shards healthy")
-		return nil
+	} else {
+		fmt.Printf("repaired shards %v\n", repaired)
 	}
-	fmt.Printf("repaired shards %v\n", repaired)
+	printStats(os.Stdout, reg, m.K)
 	return nil
 }
 
@@ -169,4 +195,43 @@ func cmdInfo(args []string) error {
 		fmt.Printf("  %-16s crc32=%08x\n", m.ShardName(i), m.Checksums[i])
 	}
 	return nil
+}
+
+// printStats renders the -stats summary: one line per span with element
+// operations, the XORs-per-unit rate (for the encode span, XORs per
+// parity element, directly comparable to the paper's k-1 lower bound),
+// and latency percentiles. A nil registry prints nothing.
+func printStats(w io.Writer, reg *obs.Registry, k int) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap.Spans))
+	for n := range snap.Spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "--- stats ---")
+	for _, n := range names {
+		st := snap.Spans[n]
+		fmt.Fprintf(w, "%-18s calls=%d xors=%d copies=%d", n, st.Calls, st.XORs, st.Copies)
+		if st.Units > 0 {
+			fmt.Fprintf(w, " xors/unit=%.3f", st.XORsPerUnit)
+			if n == "liberation.encode" {
+				fmt.Fprintf(w, " (lower bound k-1 = %d)", k-1)
+			}
+		}
+		if st.Latency.Count > 0 {
+			fmt.Fprintf(w, " p50=%s p99=%s", fmtSeconds(st.Latency.P50), fmtSeconds(st.Latency.P99))
+		}
+		if st.BytesPerSec > 0 {
+			fmt.Fprintf(w, " %.1f MB/s", st.BytesPerSec/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// fmtSeconds renders a float64 second count as a duration string.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(100 * time.Nanosecond).String()
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testConfig() config {
+	return config{
+		codeName: "liberation", k: 5, p: 5, elem: 16, stripes: 8,
+		workload: "random-small", seed: 7,
+	}
+}
+
+// TestServesLiveMetrics drives the workload far enough to trigger the
+// fault episodes, then exercises every HTTP surface the monitor exposes.
+func TestServesLiveMetrics(t *testing.T) {
+	m, err := newMonitor(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ { // crosses the rebuild (20) and scrub (50) episodes
+		if err := m.runStep(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+
+	srv := httptest.NewServer(m.mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Prometheus exposition by default.
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type %q not Prometheus text", ctype)
+	}
+	for _, want := range []string{
+		"raid_write_seconds_bucket",
+		"raid_write_xors",
+		"liberation_encode_calls",
+		"raid_rebuild_progress",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// JSON snapshot with reassembled span families.
+	code, body, ctype = get("/metrics?format=json")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metrics?format=json: status %d, type %q", code, ctype)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]float64
+		Spans    map[string]struct {
+			Calls uint64  `json:"calls"`
+			XORs  uint64  `json:"xors"`
+			Ratio float64 `json:"xors_per_unit"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	if snap.Spans["raid.write"].Calls == 0 {
+		t.Error("no raid.write spans in JSON snapshot")
+	}
+	if snap.Spans["liberation.encode"].Ratio != 4 { // k-1 for k=5
+		t.Errorf("encode xors_per_unit = %v, want 4", snap.Spans["liberation.encode"].Ratio)
+	}
+	if snap.Counters["raid.stripes_rebuilt"] == 0 {
+		t.Error("fault episode did not rebuild any stripes")
+	}
+	if snap.Counters["raid.scrub_repairs"] == 0 {
+		t.Error("scrub episode did not repair the injected corruption")
+	}
+	if snap.Gauges["raid.rebuild.progress"] != 1 {
+		t.Errorf("rebuild progress %v, want 1", snap.Gauges["raid.rebuild.progress"])
+	}
+
+	// Human-readable front page and health probe.
+	if code, body, _ = get("/"); code != http.StatusOK || !strings.Contains(body, "raidmon:") {
+		t.Errorf("/ status %d body %q...", code, body[:min(len(body), 60)])
+	}
+	if code, _, _ = get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz status %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _, _ = get("/nonexistent"); code != http.StatusNotFound {
+		t.Errorf("/nonexistent status %d, want 404", code)
+	}
+}
+
+// TestMonitorConfigErrors checks flag validation surfaces as errors.
+func TestMonitorConfigErrors(t *testing.T) {
+	bad := testConfig()
+	bad.workload = "bogus"
+	if _, err := newMonitor(bad); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	bad = testConfig()
+	bad.codeName = "nope"
+	if _, err := newMonitor(bad); err == nil {
+		t.Error("unknown code accepted")
+	}
+	bad = testConfig()
+	bad.writeSize = 1 << 30
+	if _, err := newMonitor(bad); err == nil {
+		t.Error("oversized write accepted")
+	}
+}

@@ -95,15 +95,15 @@ func TestOpsCounting(t *testing.T) {
 	ops.XorInto(a, b)
 	ops.Copy(a, b)
 	ops.Zero(a)
-	if ops.XORs != 2 || ops.Copies != 1 {
-		t.Errorf("ops = %v, want 2 XORs and 1 copy", &ops)
+	if ops.XORs != 2 || ops.Copies != 1 || ops.Zeros != 1 {
+		t.Errorf("ops = %v, want 2 XORs, 1 copy, 1 zero", &ops)
 	}
-	ops.Add(Ops{XORs: 3, Copies: 4})
-	if ops.XORs != 5 || ops.Copies != 5 {
+	ops.Add(Ops{XORs: 3, Copies: 4, Zeros: 5})
+	if ops.XORs != 5 || ops.Copies != 5 || ops.Zeros != 6 {
 		t.Errorf("Add gave %v", &ops)
 	}
 	ops.Reset()
-	if ops.XORs != 0 || ops.Copies != 0 {
+	if ops.XORs != 0 || ops.Copies != 0 || ops.Zeros != 0 {
 		t.Error("Reset failed")
 	}
 	// nil Ops must be usable.

@@ -17,6 +17,7 @@ import (
 type Ops struct {
 	XORs   uint64 // element XOR operations performed
 	Copies uint64 // element copies performed
+	Zeros  uint64 // element zeroings performed (memory traffic, not arithmetic)
 }
 
 // Xor sets dst = a ^ b and counts one XOR.
@@ -43,9 +44,14 @@ func (o *Ops) Copy(dst, src []byte) {
 	copy(dst, src)
 }
 
-// Zero clears dst. Zeroing is bookkeeping, not arithmetic: it is not
-// counted (it only arises for degenerate all-phantom constraints).
+// Zero clears dst and counts one zeroing. Zeroing is bookkeeping, not
+// arithmetic: it is excluded from the paper's XOR metric (it only arises
+// for degenerate all-phantom constraints), but it is still a block of
+// memory traffic, so observability snapshots report it separately.
 func (o *Ops) Zero(dst []byte) {
+	if o != nil {
+		o.Zeros++
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -54,7 +60,7 @@ func (o *Ops) Zero(dst []byte) {
 // Reset clears the counters.
 func (o *Ops) Reset() {
 	if o != nil {
-		o.XORs, o.Copies = 0, 0
+		o.XORs, o.Copies, o.Zeros = 0, 0, 0
 	}
 }
 
@@ -63,6 +69,7 @@ func (o *Ops) Add(other Ops) {
 	if o != nil {
 		o.XORs += other.XORs
 		o.Copies += other.Copies
+		o.Zeros += other.Zeros
 	}
 }
 
@@ -70,7 +77,7 @@ func (o *Ops) String() string {
 	if o == nil {
 		return "ops{nil}"
 	}
-	return fmt.Sprintf("ops{xors=%d copies=%d}", o.XORs, o.Copies)
+	return fmt.Sprintf("ops{xors=%d copies=%d zeros=%d}", o.XORs, o.Copies, o.Zeros)
 }
 
 // XorInto2 sets dst ^= a ^ b (two accumulations in one pass, counted as

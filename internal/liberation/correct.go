@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xorblk"
 )
 
@@ -29,6 +30,18 @@ const CleanColumn = -1
 // constraint for the extra element of column c) must then reproduce dQ;
 // the unique column whose prediction matches is the corrupted one.
 func (c *Code) CorrectColumn(s *core.Stripe, ops *core.Ops) (int, error) {
+	if c.obs == nil {
+		return c.correctColumn(s, ops)
+	}
+	sp := obs.StartSpan(c.obs, "liberation.correct")
+	var local core.Ops
+	col, err := c.correctColumn(s, &local)
+	ops.Add(local)
+	sp.Bytes(s.DataSize()).Ops(local).End(err)
+	return col, err
+}
+
+func (c *Code) correctColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 	if err := s.CheckShape(c.k, c.p); err != nil {
 		return 0, err
 	}
@@ -36,7 +49,7 @@ func (c *Code) CorrectColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 	elemSize := s.ElemSize
 
 	expect := s.Clone()
-	if err := c.Encode(expect, ops); err != nil {
+	if err := c.encodeFull(expect, ops); err != nil {
 		return 0, err
 	}
 	dP := make([][]byte, p)

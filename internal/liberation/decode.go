@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitmatrix"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Decode reconstructs up to two erased strips using the paper's optimal
@@ -14,6 +15,16 @@ import (
 // (iterative retrieval); the remaining cases reduce to row/diagonal
 // recovery plus (partial) re-encoding, as Section III-C notes.
 func (c *Code) Decode(s *core.Stripe, erased []int, ops *core.Ops) error {
+	if c.obs != nil {
+		// Units: erased strips * p elements each — the denominator of the
+		// paper's XORs-per-missing-bit metric.
+		return c.observed("liberation.decode", s.DataSize(), len(erased)*c.p, ops,
+			func(o *core.Ops) error { return c.decode(s, erased, o) })
+	}
+	return c.decode(s, erased, ops)
+}
+
+func (c *Code) decode(s *core.Stripe, erased []int, ops *core.Ops) error {
 	if err := s.CheckShape(c.k, c.p); err != nil {
 		return err
 	}
@@ -35,7 +46,7 @@ func (c *Code) Decode(s *core.Stripe, erased []int, ops *core.Ops) error {
 		}
 		switch {
 		case a >= c.k: // P and Q
-			return c.Encode(s, ops)
+			return c.encodeFull(s, ops)
 		case b == c.k: // data + P
 			if err := c.recoverDataViaQ(s, a, ops); err != nil {
 				return err
@@ -187,8 +198,9 @@ func (c *Code) startingPoint(l, r int) (sp, sq []int, x int) {
 // anti-diagonal constraint i). A syndrome XORs the *surviving* members of
 // its constraint, excluding members that belong to an unknown common
 // expression, and reuses the known common expressions exactly as the
-// encoder does.
-func (c *Code) appendSyndromeOps(sch bitmatrix.Schedule, l, r int) bitmatrix.Schedule {
+// encoder does. Each reused expression is reported to tr (which may be
+// nil).
+func (c *Code) appendSyndromeOps(sch bitmatrix.Schedule, l, r int, tr *obs.DecodeTrace) bitmatrix.Schedule {
 	p, k := c.p, c.k
 	accL := make([]bool, p)
 	accR := make([]bool, p)
@@ -216,6 +228,7 @@ func (c *Code) appendSyndromeOps(sch bitmatrix.Schedule, l, r int) bitmatrix.Sch
 		if l == j-1 || l == j || r == j-1 || r == j {
 			continue
 		}
+		tr.ReuseHit()
 		row := c.pairRow(j)
 		xorL(row, j-1, row)
 		sch = append(sch, bitmatrix.Op{Kind: bitmatrix.OpXor,
@@ -259,26 +272,35 @@ func (c *Code) appendSyndromeOps(sch bitmatrix.Schedule, l, r int) bitmatrix.Sch
 // strips (Algorithms 2 + 3 + 4) into element operations. The plan depends
 // only on (l, r, k, p) — building it involves no matrix work at all,
 // which is exactly the structural advantage the paper claims over the
-// bit-matrix-scheduled original decoder.
-func (c *Code) dataPairSchedule(l, r int) (bitmatrix.Schedule, error) {
+// bit-matrix-scheduled original decoder. When tr is non-nil, the builder
+// records the structured trace of its decisions (starting-point choice,
+// syndrome sets, common-expression reuse, every zig-zag step).
+func (c *Code) dataPairSchedule(l, r int, tr *obs.DecodeTrace) (bitmatrix.Schedule, error) {
 	p := c.p
 	// Algorithm 2, trying both orientations and taking the cheaper
 	// starting point (the paper's second decoding trick). The flipped
 	// orientation is only meaningful when its target column (the original
 	// l) hosts an extra bit, i.e. l >= 1.
 	sp, sq, x := c.startingPoint(l, r)
+	swapped := false
 	if l >= 1 {
 		if sp2, sq2, x2 := c.startingPoint(r, l); x2 != -1 &&
 			(x == -1 || len(sp2)+len(sq2) < len(sp)+len(sq)) {
 			l, r = r, l
 			sp, sq, x = sp2, sq2, x2
+			swapped = true
 		}
 	}
 	if x == -1 {
 		return nil, fmt.Errorf("liberation: no starting point for erasure (%d,%d)", r, l)
 	}
+	if tr != nil {
+		tr.L, tr.R, tr.Swapped = l, r, swapped
+		tr.StartRow = x
+		tr.RowSyndromes, tr.DiagSyndromes = len(sp), len(sq)
+	}
 
-	sch := c.appendSyndromeOps(nil, l, r)
+	sch := c.appendSyndromeOps(nil, l, r, tr)
 	delta := c.mod(r - l)
 
 	// Evaluate the starting element b[x][r] as the sum of the selected
@@ -304,16 +326,25 @@ func (c *Code) dataPairSchedule(l, r int) (bitmatrix.Schedule, error) {
 			SrcCol: srcCol, SrcRow: srcRow, DstCol: dstCol, DstRow: dstRow})
 	}
 	for t := 0; t < p; t++ {
+		var events []string
+		event := func(e string) {
+			if tr != nil {
+				events = append(events, e)
+			}
+		}
 		// Row constraint x: syndrome ^ resolved column-r value.
 		xor(l, x, r, x)
+		event("row-resolve(l)")
 		if c.isBitB(x, r) && delta != 1 {
 			// (x, r) is the extra bit of pair r; its surviving partner
 			// (x, r-1) was excluded from the row syndrome.
 			xor(l, x, r-1, x)
+			event("fold-pairB-partner(r)")
 		} else if c.isBitA(x, r) {
 			// (x, r) currently holds the pair-(r+1) expression; fold in
 			// the surviving partner to obtain the element itself.
 			xor(r, x, r+1, x)
+			event("pairA-resolve(r)")
 		}
 		if c.isBitB(x, l) {
 			// (x, l) currently holds the pair-l expression E. Feed E into
@@ -321,6 +352,7 @@ func (c *Code) dataPairSchedule(l, r int) (bitmatrix.Schedule, error) {
 			// row <x+1+delta> of strip r), then resolve the element.
 			xor(r, c.mod(x+1+delta), l, x)
 			xor(l, x, l-1, x)
+			event("pairB-feed-and-resolve(l)")
 		}
 		if t < p-1 {
 			// Feed the resolved column-l value into the anti-diagonal
@@ -329,14 +361,51 @@ func (c *Code) dataPairSchedule(l, r int) (bitmatrix.Schedule, error) {
 			// fed is the pair expression — exactly what that constraint
 			// contains.
 			xor(r, c.mod(x+delta), l, x)
+			event("antidiagonal-feed")
 		}
 		if c.isBitA(x, l) && delta != 1 {
 			// Resolve the pair-(l+1) expression into the element.
 			xor(l, x, l+1, x)
+			event("pairA-resolve(l)")
 		}
+		tr.AddStep(t, x, events...)
 		x = c.mod(x + delta)
 	}
+	if tr != nil {
+		for _, op := range sch {
+			switch op.Kind {
+			case bitmatrix.OpXor:
+				tr.XORs++
+			case bitmatrix.OpCopy:
+				tr.Copies++
+			}
+		}
+	}
 	return sch, nil
+}
+
+// TraceDecode compiles the Algorithm 2-4 plan for the two erased data
+// columns (l, r) and returns the structured trace of its construction:
+// the starting point Algorithm 2 selected, the syndrome sets, the common
+// expressions Algorithm 3 reused, every zig-zag step of Algorithm 4, and
+// the plan's exact XOR/copy cost. The trace is data-independent — a
+// Decode of the same erasure pattern performs exactly the traced
+// operations.
+func (c *Code) TraceDecode(l, r int) (*obs.DecodeTrace, error) {
+	if l > r {
+		l, r = r, l
+	}
+	if l < 0 || r >= c.k || l == r {
+		return nil, fmt.Errorf("%w: data pair (%d,%d)", core.ErrParams, l, r)
+	}
+	if c.k < 2 {
+		return nil, fmt.Errorf("%w: k=%d cannot lose two data strips", core.ErrParams, c.k)
+	}
+	tr := &obs.DecodeTrace{Code: c.Name(), K: c.k, P: c.p}
+	if _, err := c.dataPairSchedule(l, r, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
 }
 
 // decodeDataPair implements Algorithm 4 (Optimal Decoding) for two erased
@@ -358,7 +427,7 @@ func (c *Code) decodeDataPair(s *core.Stripe, l, r int, ops *core.Ops) error {
 	sch, ok := c.plans.dec[key]
 	c.plans.decMu.Unlock()
 	if !ok {
-		plain, err := c.dataPairSchedule(l, r)
+		plain, err := c.dataPairSchedule(l, r, nil)
 		if err != nil {
 			return err
 		}
@@ -379,7 +448,9 @@ func (c *Code) DecodeXORs(erased []int) (int, error) {
 	sorted := append([]int(nil), erased...)
 	sort.Ints(sorted)
 	var ops core.Ops
-	if err := c.Decode(s, sorted, &ops); err != nil {
+	// Use the uninstrumented path: the counting probe is not a real
+	// decode and must not show up in the metrics.
+	if err := c.decode(s, sorted, &ops); err != nil {
 		return 0, err
 	}
 	return int(ops.XORs), nil

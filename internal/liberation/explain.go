@@ -27,7 +27,7 @@ func (c *Code) ExplainDecode(w io.Writer, l, r int) error {
 	if l < 0 || r >= c.k || l == r {
 		return fmt.Errorf("liberation: explain needs two distinct data columns, got (%d,%d)", l, r)
 	}
-	sch, err := c.dataPairSchedule(l, r)
+	sch, err := c.dataPairSchedule(l, r, nil)
 	if err != nil {
 		return err
 	}

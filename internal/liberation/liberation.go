@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Code is a Liberation code instance with k data columns over a p x (p+2)
@@ -45,6 +46,8 @@ type Code struct {
 	half int // (p-1)/2, the inverse of -2 mod p
 
 	plans planCache // compiled operation sequences (lazy)
+
+	obs *obs.Registry // optional metrics sink (see Instrument)
 }
 
 // New returns the Liberation code with k data strips and prime parameter

@@ -1,0 +1,35 @@
+package liberation
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Instrument attaches a metrics registry to the code: from then on every
+// Encode, Decode, Update and CorrectColumn records a span — latency,
+// bytes processed, work units, and the exact core.Ops element counts —
+// under the span names liberation.encode, liberation.decode,
+// liberation.update and liberation.correct. The work-unit denominators
+// make the paper's normalized metric first-class: an encode span's
+// xors-per-unit is XORs per parity element (lower bound k-1), a decode
+// span's is XORs per recovered element.
+//
+// Instrumenting costs one extra Ops merge and a clock read per call and
+// is safe for concurrent use (the registry is lock-free on the hot path).
+// A nil registry detaches.
+func (c *Code) Instrument(reg *obs.Registry) { c.obs = reg }
+
+// Registry returns the attached metrics registry (nil when detached).
+func (c *Code) Registry() *obs.Registry { return c.obs }
+
+// observed runs fn with a private Ops, merges the counts into the
+// caller's ops, and records the span. bytes and units describe the
+// operation's size for throughput and per-unit rates.
+func (c *Code) observed(name string, bytes, units int, ops *core.Ops, fn func(*core.Ops) error) error {
+	sp := obs.StartSpan(c.obs, name)
+	var local core.Ops
+	err := fn(&local)
+	ops.Add(local)
+	sp.Bytes(bytes).Units(units).Ops(local).End(err)
+	return err
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler that serves the registry's current
+// snapshot at the handler's root. The format is chosen per request:
+// Prometheus text exposition by default (what a scraper expects),
+// indented JSON when the query says ?format=json or the Accept header
+// asks for application/json, and the human text report for ?format=text.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		format := req.URL.Query().Get("format")
+		if format == "" && req.Header.Get("Accept") == "application/json" {
+			format = "json"
+		}
+		switch format {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			if err := snap.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			snap.WritePrometheus(w)
+		}
+	})
+}
+
+// NewMux returns an http.ServeMux preloaded with the standard
+// observability surface of a storage server:
+//
+//	/metrics        registry snapshot (Prometheus text, ?format=json|text)
+//	/debug/pprof/*  the Go runtime profiler endpoints
+//	/healthz        liveness probe
+//
+// The caller mounts additional handlers as needed and serves the mux.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

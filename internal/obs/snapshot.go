@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry: raw metrics plus the
+// per-span summaries derived from the span naming convention. It is
+// plain data — safe to marshal, compare, or hold while the registry keeps
+// moving.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      map[string]SpanStats         `json:"spans,omitempty"`
+}
+
+// SpanStats is the derived summary of one span family: the paper's two
+// observables (XOR counts and wall time) joined into throughput and
+// XORs-per-unit rates.
+type SpanStats struct {
+	Calls  uint64 `json:"calls"`
+	Errors uint64 `json:"errors,omitempty"`
+	Bytes  uint64 `json:"bytes,omitempty"`
+	Units  uint64 `json:"units,omitempty"`
+	XORs   uint64 `json:"xors,omitempty"`
+	Copies uint64 `json:"copies,omitempty"`
+	Zeros  uint64 `json:"zeros,omitempty"`
+
+	Latency HistogramSnapshot `json:"latency"`
+
+	// BytesPerSec is Bytes divided by the summed in-span wall time.
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	// XORsPerUnit is XORs/Units — for an encode span, XORs per parity
+	// element, directly comparable to the paper's k-1 lower bound.
+	XORsPerUnit float64 `json:"xors_per_unit,omitempty"`
+}
+
+// Snapshot captures every metric in the registry. Safe to call while
+// writers are mutating; a nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Spans:      map[string]SpanStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+
+	// Reassemble span families: every ".calls" counter roots one.
+	for name, calls := range s.Counters {
+		base, ok := strings.CutSuffix(name, ".calls")
+		if !ok {
+			continue
+		}
+		st := SpanStats{
+			Calls:   calls,
+			Errors:  s.Counters[base+".errors"],
+			Bytes:   s.Counters[base+".bytes"],
+			Units:   s.Counters[base+".units"],
+			XORs:    s.Counters[base+".xors"],
+			Copies:  s.Counters[base+".copies"],
+			Zeros:   s.Counters[base+".zeros"],
+			Latency: s.Histograms[base+".seconds"],
+		}
+		if st.Latency.Sum > 0 {
+			st.BytesPerSec = float64(st.Bytes) / st.Latency.Sum
+		}
+		if st.Units > 0 {
+			st.XORsPerUnit = float64(st.XORs) / float64(st.Units)
+		}
+		s.Spans[base] = st
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as a human-readable report with
+// deterministic ordering.
+func (s Snapshot) WriteText(w io.Writer) {
+	if len(s.Spans) > 0 {
+		fmt.Fprintln(w, "spans:")
+		for _, name := range sortedNames(s.Spans) {
+			sp := s.Spans[name]
+			fmt.Fprintf(w, "  %-24s calls=%d errors=%d bytes=%d xors=%d copies=%d zeros=%d\n",
+				name, sp.Calls, sp.Errors, sp.Bytes, sp.XORs, sp.Copies, sp.Zeros)
+			if sp.Latency.Count > 0 {
+				fmt.Fprintf(w, "  %-24s latency p50=%s p90=%s p99=%s mean=%s\n",
+					"", fmtSeconds(sp.Latency.P50), fmtSeconds(sp.Latency.P90),
+					fmtSeconds(sp.Latency.P99), fmtSeconds(sp.Latency.Mean))
+			}
+			if sp.BytesPerSec > 0 || sp.XORsPerUnit > 0 {
+				fmt.Fprintf(w, "  %-24s throughput=%.1f MB/s xors/unit=%.4f\n",
+					"", sp.BytesPerSec/1e6, sp.XORsPerUnit)
+			}
+		}
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedNames(s.Counters) {
+			fmt.Fprintf(w, "  %-40s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedNames(s.Gauges) {
+			fmt.Fprintf(w, "  %-40s %g\n", name, s.Gauges[name])
+		}
+	}
+}
+
+func fmtSeconds(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.3gs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3gms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3gµs", v*1e6)
+	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metric names have non-alphanumeric runes
+// replaced with underscores; histograms emit cumulative _bucket series
+// plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	for _, name := range sortedNames(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name])
+	}
+	for _, name := range sortedNames(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		cum := uint64(0)
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = trimFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// A Span measures one operation: wall time, bytes processed, work units
+// (parity or recovered elements) and the element-operation counts of
+// core.Ops. Ending a span records into the registry under the span's
+// name, using the naming convention Snapshot reassembles:
+//
+//	<name>.seconds  histogram  operation latency
+//	<name>.calls    counter    completed operations
+//	<name>.errors   counter    operations that returned an error
+//	<name>.bytes    counter    data bytes processed
+//	<name>.units    counter    work units (e.g. parity elements written)
+//	<name>.xors     counter    element XORs (the paper's cost metric)
+//	<name>.copies   counter    element copies (free in the cost model)
+//	<name>.zeros    counter    element zeroings (memory traffic only)
+//
+// A span started on a nil registry is a valid no-op, so instrumentation
+// can be left in place unconditionally.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+	bytes uint64
+	units uint64
+	ops   core.Ops
+}
+
+// StartSpan begins a span. The returned span records nothing if r is nil.
+func StartSpan(r *Registry, name string) *Span {
+	s := &Span{reg: r, name: name}
+	if r != nil {
+		s.start = time.Now()
+	}
+	return s
+}
+
+// Bytes sets the data bytes the operation processed.
+func (s *Span) Bytes(n int) *Span {
+	if n > 0 {
+		s.bytes = uint64(n)
+	}
+	return s
+}
+
+// Units sets the operation's work-unit count — parity elements written for
+// an encode, missing elements recovered for a decode — the denominator of
+// the paper's XORs-per-bit metric.
+func (s *Span) Units(n int) *Span {
+	if n > 0 {
+		s.units = uint64(n)
+	}
+	return s
+}
+
+// Ops accumulates element-operation counts into the span.
+func (s *Span) Ops(o core.Ops) *Span {
+	s.ops.Add(o)
+	return s
+}
+
+// End stops the span and records it; err != nil additionally bumps the
+// error counter. It returns the measured duration (zero for no-op spans).
+func (s *Span) End(err error) time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	r := s.reg
+	r.Histogram(s.name+".seconds", LatencyBuckets).ObserveDuration(d)
+	r.Counter(s.name + ".calls").Inc()
+	if err != nil {
+		r.Counter(s.name + ".errors").Inc()
+	}
+	if s.bytes > 0 {
+		r.Counter(s.name + ".bytes").Add(s.bytes)
+	}
+	if s.units > 0 {
+		r.Counter(s.name + ".units").Add(s.units)
+	}
+	if s.ops.XORs > 0 {
+		r.Counter(s.name + ".xors").Add(s.ops.XORs)
+	}
+	if s.ops.Copies > 0 {
+		r.Counter(s.name + ".copies").Add(s.ops.Copies)
+	}
+	if s.ops.Zeros > 0 {
+		r.Counter(s.name + ".zeros").Add(s.ops.Zeros)
+	}
+	return d
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSpanRecordsEverything(t *testing.T) {
+	r := NewRegistry()
+	ops := core.Ops{XORs: 40, Copies: 10, Zeros: 2}
+	sp := StartSpan(r, "encode")
+	sp.Bytes(4096).Units(10).Ops(ops)
+	if d := sp.End(nil); d <= 0 {
+		t.Error("span duration must be positive")
+	}
+	s := r.Snapshot()
+	st, ok := s.Spans["encode"]
+	if !ok {
+		t.Fatalf("span family missing from snapshot: %+v", s.Counters)
+	}
+	if st.Calls != 1 || st.Errors != 0 {
+		t.Errorf("calls/errors = %d/%d", st.Calls, st.Errors)
+	}
+	if st.Bytes != 4096 || st.Units != 10 {
+		t.Errorf("bytes/units = %d/%d", st.Bytes, st.Units)
+	}
+	if st.XORs != 40 || st.Copies != 10 || st.Zeros != 2 {
+		t.Errorf("ops propagated wrong: %+v", st)
+	}
+	if st.XORsPerUnit != 4.0 {
+		t.Errorf("xors/unit = %g, want 4", st.XORsPerUnit)
+	}
+	if st.Latency.Count != 1 || st.Latency.Sum <= 0 {
+		t.Errorf("latency histogram: %+v", st.Latency)
+	}
+	if st.BytesPerSec <= 0 {
+		t.Errorf("bytes/sec = %g, want > 0", st.BytesPerSec)
+	}
+}
+
+func TestSpanErrorCounter(t *testing.T) {
+	r := NewRegistry()
+	StartSpan(r, "op").End(errors.New("boom"))
+	StartSpan(r, "op").End(nil)
+	st := r.Snapshot().Spans["op"]
+	if st.Calls != 2 || st.Errors != 1 {
+		t.Errorf("calls/errors = %d/%d, want 2/1", st.Calls, st.Errors)
+	}
+}
+
+func TestSpanNilRegistryNoop(t *testing.T) {
+	sp := StartSpan(nil, "x")
+	sp.Bytes(1).Units(1).Ops(core.Ops{XORs: 1})
+	if d := sp.End(nil); d != 0 {
+		t.Error("nil-registry span must report zero duration")
+	}
+}
+
+// TestSpanOpsMatchExactly runs a deterministic accumulation and asserts
+// the snapshot counters equal the core.Ops totals bit for bit — the
+// contract the instrumented coding paths rely on.
+func TestSpanOpsMatchExactly(t *testing.T) {
+	r := NewRegistry()
+	var total core.Ops
+	for i := 1; i <= 7; i++ {
+		o := core.Ops{XORs: uint64(i * 3), Copies: uint64(i), Zeros: uint64(i % 2)}
+		total.Add(o)
+		StartSpan(r, "work").Ops(o).Units(i).End(nil)
+	}
+	st := r.Snapshot().Spans["work"]
+	if st.XORs != total.XORs || st.Copies != total.Copies || st.Zeros != total.Zeros {
+		t.Errorf("snapshot %+v does not match ops %+v", st, total)
+	}
+	if st.Units != 28 {
+		t.Errorf("units = %d, want 28", st.Units)
+	}
+}

@@ -12,14 +12,21 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config controls a bulk operation.
 type Config struct {
 	// Workers is the number of concurrent goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Registry, when non-nil, receives a span per bulk call
+	// (pipeline.encode / pipeline.decode) plus queue-wait and
+	// stripes-per-worker histograms.
+	Registry *obs.Registry
 }
 
 func (c Config) workers() int {
@@ -29,10 +36,33 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Report describes how a bulk operation actually ran: how the stripes
+// were spread over the pool and how long workers sat idle waiting for
+// the producer. On error, Stripes counts the work completed before the
+// pool shut down — the cancellation guarantee is that no stripe starts
+// processing after the first error is raised.
+type Report struct {
+	Workers   int   // pool size actually used
+	Stripes   int   // stripes successfully processed
+	PerWorker []int // stripes processed by each worker (len == Workers)
+	// QueueWait is the total time workers spent blocked on the work
+	// queue (including the final wait for shutdown), summed over the
+	// pool. High values relative to Elapsed*Workers mean the producer
+	// or a straggler stripe is the bottleneck, not the pool.
+	QueueWait time.Duration
+	Elapsed   time.Duration
+}
+
 // EncodeAll encodes every stripe with the given code, in parallel.
 // Per-stripe XOR counts are accumulated into ops (which may be nil).
 func EncodeAll(code core.Code, stripes []*core.Stripe, ops *core.Ops, cfg Config) error {
-	return forEach(stripes, cfg, ops, func(s *core.Stripe, o *core.Ops) error {
+	_, err := EncodeAllReport(code, stripes, ops, cfg)
+	return err
+}
+
+// EncodeAllReport is EncodeAll plus the pool's execution Report.
+func EncodeAllReport(code core.Code, stripes []*core.Stripe, ops *core.Ops, cfg Config) (Report, error) {
+	return forEach("pipeline.encode", stripes, cfg, ops, func(s *core.Stripe, o *core.Ops) error {
 		return code.Encode(s, o)
 	})
 }
@@ -40,65 +70,120 @@ func EncodeAll(code core.Code, stripes []*core.Stripe, ops *core.Ops, cfg Config
 // DecodeAll reconstructs the same erased strips in every stripe, in
 // parallel — the shape of a whole-disk rebuild.
 func DecodeAll(code core.Code, stripes []*core.Stripe, erased []int, ops *core.Ops, cfg Config) error {
-	return forEach(stripes, cfg, ops, func(s *core.Stripe, o *core.Ops) error {
+	_, err := DecodeAllReport(code, stripes, erased, ops, cfg)
+	return err
+}
+
+// DecodeAllReport is DecodeAll plus the pool's execution Report.
+func DecodeAllReport(code core.Code, stripes []*core.Stripe, erased []int, ops *core.Ops, cfg Config) (Report, error) {
+	return forEach("pipeline.decode", stripes, cfg, ops, func(s *core.Stripe, o *core.Ops) error {
 		return code.Decode(s, erased, o)
 	})
 }
 
 // forEach fans the stripes out over the worker pool. Each worker keeps a
 // private Ops and the totals are merged at the end, so counting adds no
-// contention.
-func forEach(stripes []*core.Stripe, cfg Config, ops *core.Ops,
-	fn func(*core.Stripe, *core.Ops) error) error {
+// contention. The first error cancels the remaining work: the producer
+// stops feeding and every worker skips (but keeps draining) whatever is
+// already queued, so no stripe begins processing after the error.
+func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
+	fn func(*core.Stripe, *core.Ops) error) (Report, error) {
 	n := cfg.workers()
 	if n > len(stripes) {
 		n = len(stripes)
 	}
-	if n <= 1 {
-		for _, s := range stripes {
-			if err := fn(s, ops); err != nil {
-				return err
+	if n < 1 {
+		n = 1
+	}
+	start := time.Now()
+	rep := Report{Workers: n, PerWorker: make([]int, n)}
+	sp := obs.StartSpan(cfg.Registry, name)
+	var total core.Ops
+	bytes := 0
+	finish := func(err error) (Report, error) {
+		rep.Elapsed = time.Since(start)
+		ops.Add(total)
+		sp.Bytes(bytes).Units(rep.Stripes).Ops(total).End(err)
+		if cfg.Registry != nil {
+			cfg.Registry.Observe(name+".queue_wait.seconds", obs.LatencyBuckets,
+				rep.QueueWait.Seconds())
+			for _, c := range rep.PerWorker {
+				cfg.Registry.Observe("pipeline.worker.stripes", obs.SizeBuckets, float64(c))
 			}
 		}
-		return nil
+		if err != nil {
+			return rep, fmt.Errorf("pipeline: %w", err)
+		}
+		return rep, nil
 	}
+
+	if n == 1 {
+		for _, s := range stripes {
+			if err := fn(s, &total); err != nil {
+				return finish(err)
+			}
+			bytes += s.DataSize()
+			rep.Stripes++
+			rep.PerWorker[0]++
+		}
+		return finish(nil)
+	}
+
+	var stop atomic.Bool
 	work := make(chan *core.Stripe)
 	errCh := make(chan error, n)
 	partial := make([]core.Ops, n)
+	perWorker := rep.PerWorker
+	waits := make([]time.Duration, n)
+	bytesW := make([]int, n)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			failed := false
-			for s := range work {
-				if failed {
-					continue // keep draining so the producer never blocks
+			for {
+				t0 := time.Now()
+				s, ok := <-work
+				waits[w] += time.Since(t0)
+				if !ok {
+					return
+				}
+				if stop.Load() {
+					continue // drain so the producer never blocks
 				}
 				if err := fn(s, &partial[w]); err != nil {
+					stop.Store(true)
 					select {
 					case errCh <- err:
 					default:
 					}
-					failed = true
+					continue
 				}
+				perWorker[w]++
+				bytesW[w] += s.DataSize()
 			}
 		}(w)
 	}
 	for _, s := range stripes {
+		if stop.Load() {
+			break
+		}
 		work <- s
 	}
 	close(work)
 	wg.Wait()
+	for w := range partial {
+		total.Add(partial[w])
+		rep.Stripes += perWorker[w]
+		rep.QueueWait += waits[w]
+		bytes += bytesW[w]
+	}
 	select {
 	case err := <-errCh:
-		return fmt.Errorf("pipeline: %w", err)
+		return finish(err)
 	default:
 	}
-	for w := range partial {
-		ops.Add(partial[w])
-	}
-	return nil
+	return finish(nil)
 }
 
 // SplitBuffer carves a contiguous data buffer into stripes for the given

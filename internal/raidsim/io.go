@@ -17,6 +17,8 @@ func (a *Array) Read(off int, p []byte) error {
 	if a.numFailed() > 2 {
 		return ErrTooManyFailures
 	}
+	sp, total := a.span("raid.read"), len(p)
+	defer func() { sp.end(a, total, nil) }()
 	for len(p) > 0 {
 		stripe, strip, row, inElem := a.locate(off)
 		stripData := a.stripData(stripe)
@@ -42,6 +44,7 @@ func (a *Array) stripData(stripe int) []byte {
 	}
 	// Degraded: reconstruct into a scratch stripe.
 	a.Stats.DegradedReads++
+	a.count("raid.degraded_reads", 1)
 	scratch := core.NewStripe(a.k, a.w, a.elemSize)
 	for t := 0; t < a.n; t++ {
 		copy(scratch.Strips[t], a.strip(stripe, t))
@@ -64,9 +67,14 @@ func (a *Array) Write(off int, p []byte) error {
 	if off < 0 || off+len(p) > a.Capacity() {
 		return ErrOutOfRange
 	}
+	sp, total := a.span("raid.write"), len(p)
 	if a.numFailed() > 0 {
-		return a.writeDegraded(off, p)
+		err := a.writeDegraded(off, p)
+		sp.end(a, total, err)
+		return err
 	}
+	var err error
+	defer func() { sp.end(a, total, err) }()
 	perStripe := a.k * a.w * a.elemSize
 	for len(p) > 0 {
 		stripe := off / perStripe
@@ -77,7 +85,7 @@ func (a *Array) Write(off int, p []byte) error {
 		}
 		if stripeOff == 0 && n == perStripe {
 			a.writeFullStripe(stripe, p[:n])
-		} else if err := a.writePartial(stripe, stripeOff, p[:n]); err != nil {
+		} else if err = a.writePartial(stripe, stripeOff, p[:n]); err != nil {
 			return err
 		}
 		p = p[n:]
@@ -94,6 +102,7 @@ func (a *Array) writeFullStripe(stripe int, data []byte) {
 		panic(fmt.Sprintf("raidsim: encode stripe %d: %v", stripe, err))
 	}
 	a.Stats.StripeEncodes++
+	a.count("raid.stripe_encodes", 1)
 }
 
 // writePartial performs element-granularity read-modify-writes within one
@@ -114,18 +123,22 @@ func (a *Array) writePartial(stripe, stripeOff int, data []byte) error {
 		copy(old, elem)
 		copy(elem[inElem:], data[:n])
 		a.Stats.SmallWrites++
+		a.count("raid.small_writes", 1)
 		if a.updater != nil {
 			touched, err := a.updater.Update(view, strip, row, old, &a.Stats.Ops)
 			if err != nil {
 				return err
 			}
 			a.Stats.ParityElemWrites += uint64(touched)
+			a.count("raid.parity_elem_writes", uint64(touched))
 		} else {
 			if err := a.code.Encode(view, &a.Stats.Ops); err != nil {
 				return err
 			}
 			a.Stats.StripeEncodes++
+			a.count("raid.stripe_encodes", 1)
 			a.Stats.ParityElemWrites += uint64(2 * a.w)
+			a.count("raid.parity_elem_writes", uint64(2*a.w))
 		}
 		data = data[n:]
 		stripeOff += n
@@ -155,6 +168,7 @@ func (a *Array) writeDegraded(off int, p []byte) error {
 				return fmt.Errorf("raidsim: degraded write stripe %d: %w", stripe, err)
 			}
 			a.Stats.DegradedReads++
+			a.count("raid.degraded_reads", 1)
 		}
 		// Patch the data region and re-encode.
 		for i := 0; i < n; i++ {
@@ -166,6 +180,7 @@ func (a *Array) writeDegraded(off int, p []byte) error {
 			return err
 		}
 		a.Stats.StripeEncodes++
+		a.count("raid.stripe_encodes", 1)
 		for t := 0; t < a.n; t++ {
 			if !a.failed[a.diskFor(stripe, t)] {
 				copy(a.strip(stripe, t), scratch.Strips[t])
@@ -208,7 +223,10 @@ func (a *Array) Scrub() ([]ScrubResult, error) {
 	if a.numFailed() > 0 {
 		return nil, fmt.Errorf("%w: scrub requires all disks online", ErrDiskState)
 	}
+	sp := a.span("raid.scrub")
 	var results []ScrubResult
+	var scrubErr error
+	defer func() { sp.end(a, a.stripes*a.k*a.w*a.elemSize, scrubErr) }()
 	for stripe := 0; stripe < a.stripes; stripe++ {
 		view := a.view(stripe)
 		if a.lib != nil {
@@ -219,14 +237,18 @@ func (a *Array) Scrub() ([]ScrubResult, error) {
 			}
 			if col != liberation.CleanColumn {
 				a.Stats.ScrubRepairs++
+				disk := a.diskFor(stripe, col)
+				a.count("raid.scrub_repairs", 1)
+				a.count(scrubRepairCounter(disk), 1)
 				results = append(results, ScrubResult{
-					Stripe: stripe, Disk: a.diskFor(stripe, col), Strip: col})
+					Stripe: stripe, Disk: disk, Strip: col})
 			}
 			continue
 		}
 		// Generic codes: detect by re-encoding into scratch and comparing.
 		scratch := view.Clone()
 		if err := a.code.Encode(scratch, &a.Stats.Ops); err != nil {
+			scrubErr = err
 			return results, err
 		}
 		clean := true

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/liberation"
+	"repro/internal/obs"
 )
 
 // Errors returned by the array.
@@ -51,6 +52,8 @@ type Array struct {
 	disks  [][]byte
 	failed []bool
 	layout Layout
+
+	obs *obs.Registry // optional metrics sink (see Instrument)
 
 	Stats Stats
 }
@@ -173,19 +176,28 @@ func (a *Array) Rebuild() error {
 	if a.numFailed() == 0 {
 		return nil
 	}
+	sp := a.span("raid.rebuild")
+	rebuilt := 0
+	a.obs.SetGauge("raid.rebuild.progress", 0)
 	for stripe := 0; stripe < a.stripes; stripe++ {
 		erased := a.failedStrips(stripe)
 		if len(erased) == 0 {
 			continue
 		}
 		if err := a.code.Decode(a.view(stripe), erased, &a.Stats.Ops); err != nil {
+			sp.end(a, rebuilt*a.k*a.w*a.elemSize, err)
 			return fmt.Errorf("raidsim: rebuilding stripe %d: %w", stripe, err)
 		}
 		a.Stats.StripesRebuilt++
+		a.count("raid.stripes_rebuilt", 1)
+		rebuilt++
+		a.obs.SetGauge("raid.rebuild.progress", float64(stripe+1)/float64(a.stripes))
 	}
 	for d := range a.failed {
 		a.failed[d] = false
 	}
+	a.obs.SetGauge("raid.rebuild.progress", 1)
+	sp.end(a, rebuilt*a.k*a.w*a.elemSize, nil)
 	return nil
 }
 
@@ -198,13 +210,19 @@ func (a *Array) ReplaceDisk(d int) error {
 	if !a.failed[d] {
 		return fmt.Errorf("%w: disk %d is not failed", ErrDiskState, d)
 	}
+	sp := a.span("raid.rebuild")
+	a.obs.SetGauge("raid.rebuild.progress", 0)
 	for stripe := 0; stripe < a.stripes; stripe++ {
 		erased := a.failedStrips(stripe)
 		if err := a.code.Decode(a.view(stripe), erased, &a.Stats.Ops); err != nil {
+			sp.end(a, stripe*a.k*a.w*a.elemSize, err)
 			return fmt.Errorf("raidsim: rebuilding stripe %d: %w", stripe, err)
 		}
 		a.Stats.StripesRebuilt++
+		a.count("raid.stripes_rebuilt", 1)
+		a.obs.SetGauge("raid.rebuild.progress", float64(stripe+1)/float64(a.stripes))
 	}
 	a.failed[d] = false
+	sp.end(a, a.stripes*a.k*a.w*a.elemSize, nil)
 	return nil
 }

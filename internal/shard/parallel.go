@@ -9,7 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
-	"repro/internal/liberation"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -19,19 +19,24 @@ import (
 // checksums are byte-identical to the sequential path.
 func EncodeParallel(r io.Reader, size int64, fileName string, k, p, elemSize int,
 	outDir string, workers int) (*Manifest, error) {
+	return EncodeParallelObserved(r, size, fileName, k, p, elemSize, outDir, workers, nil)
+}
+
+// EncodeParallelObserved is EncodeParallel with a metrics registry
+// attached to both the code (liberation.encode spans) and the worker
+// pool (pipeline.encode spans and queue-wait histograms). A nil
+// registry makes it identical to EncodeParallel.
+func EncodeParallelObserved(r io.Reader, size int64, fileName string, k, p, elemSize int,
+	outDir string, workers int, reg *obs.Registry) (_ *Manifest, err error) {
 	if size < 0 {
 		return nil, fmt.Errorf("%w: negative size", core.ErrParams)
 	}
-	var code *liberation.Code
-	var err error
-	if p == 0 {
-		code, err = liberation.NewAuto(k)
-	} else {
-		code, err = liberation.New(k, p)
-	}
+	code, err := newCode(k, p, reg)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(reg, "shard.encode")
+	defer func() { sp.Bytes(int(size)).End(err) }()
 	w := code.W()
 	perStripe := int64(k) * int64(w) * int64(elemSize)
 	stripes := int((size + perStripe - 1) / perStripe)
@@ -87,7 +92,8 @@ func EncodeParallel(r io.Reader, size int64, fileName string, k, p, elemSize int
 				copy(s.Strips[t], buf[t*w*elemSize:])
 			}
 		}
-		if err := pipeline.EncodeAll(code, batch[:n], nil, pipeline.Config{Workers: workers}); err != nil {
+		if err := pipeline.EncodeAll(code, batch[:n], nil,
+			pipeline.Config{Workers: workers, Registry: reg}); err != nil {
 			return nil, err
 		}
 		for b := 0; b < n; b++ {

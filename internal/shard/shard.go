@@ -15,7 +15,25 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/liberation"
+	"repro/internal/obs"
 )
+
+// newCode builds the liberation code (p = 0 selects the smallest usable
+// prime) and attaches the optional metrics registry.
+func newCode(k, p int, reg *obs.Registry) (*liberation.Code, error) {
+	var code *liberation.Code
+	var err error
+	if p == 0 {
+		code, err = liberation.NewAuto(k)
+	} else {
+		code, err = liberation.New(k, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	code.Instrument(reg)
+	return code, nil
+}
 
 // FormatVersion identifies the manifest/shard layout.
 const FormatVersion = 1
@@ -55,19 +73,24 @@ func ManifestName(fileName string) string { return fileName + ".manifest.json" }
 // outDir, returning the manifest (also written to outDir). p = 0 selects
 // the smallest usable prime automatically.
 func Encode(r io.Reader, size int64, fileName string, k, p, elemSize int, outDir string) (*Manifest, error) {
+	return EncodeObserved(r, size, fileName, k, p, elemSize, outDir, nil)
+}
+
+// EncodeObserved is Encode with a metrics registry attached to the
+// underlying code: the per-algorithm spans (liberation.encode) and a
+// shard.encode span covering the whole file land in reg. A nil registry
+// makes it identical to Encode.
+func EncodeObserved(r io.Reader, size int64, fileName string, k, p, elemSize int,
+	outDir string, reg *obs.Registry) (_ *Manifest, err error) {
 	if size < 0 {
 		return nil, fmt.Errorf("%w: negative size", core.ErrParams)
 	}
-	var code *liberation.Code
-	var err error
-	if p == 0 {
-		code, err = liberation.NewAuto(k)
-	} else {
-		code, err = liberation.New(k, p)
-	}
+	code, err := newCode(k, p, reg)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(reg, "shard.encode")
+	defer func() { sp.Bytes(int(size)).End(err) }()
 	w := code.W()
 	perStripe := int64(k) * int64(w) * int64(elemSize)
 	stripes := int((size + perStripe - 1) / perStripe)
@@ -177,15 +200,24 @@ type ShardStatus struct {
 // treated as erasures; up to two are tolerated. It returns the per-shard
 // status that recovery observed.
 func Decode(manifestPath string, w io.Writer) ([]ShardStatus, error) {
+	return DecodeObserved(manifestPath, w, nil)
+}
+
+// DecodeObserved is Decode with a metrics registry attached (see
+// EncodeObserved); recovery work shows up as liberation.decode spans
+// under a shard.decode span.
+func DecodeObserved(manifestPath string, w io.Writer, reg *obs.Registry) (_ []ShardStatus, err error) {
 	m, err := LoadManifest(manifestPath)
 	if err != nil {
 		return nil, err
 	}
 	dir := filepath.Dir(manifestPath)
-	code, err := liberation.New(m.K, m.P)
+	code, err := newCode(m.K, m.P, reg)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(reg, "shard.decode")
+	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
 	width := code.W()
 	stripBytes := width * m.ElemSize
 	shardSize := int64(m.Stripes) * int64(stripBytes)
@@ -250,15 +282,23 @@ func Decode(manifestPath string, w io.Writer) ([]ShardStatus, error) {
 // shard files back into the manifest's directory) and returns the indices
 // repaired.
 func Repair(manifestPath string) ([]int, error) {
+	return RepairObserved(manifestPath, nil)
+}
+
+// RepairObserved is Repair with a metrics registry attached (see
+// EncodeObserved).
+func RepairObserved(manifestPath string, reg *obs.Registry) (_ []int, err error) {
 	m, err := LoadManifest(manifestPath)
 	if err != nil {
 		return nil, err
 	}
 	dir := filepath.Dir(manifestPath)
-	code, err := liberation.New(m.K, m.P)
+	code, err := newCode(m.K, m.P, reg)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(reg, "shard.repair")
+	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
 	width := code.W()
 	stripBytes := width * m.ElemSize
 	shardSize := int64(m.Stripes) * int64(stripBytes)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-obs clean
+.PHONY: all build test race vet fmt check verify bench bench-obs clean
 
 all: build
 
@@ -26,6 +26,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 check: vet fmt test race
+
+# verify is the CI gate (see .github/workflows/verify.yml): the same
+# four stages as check, named separately so CI and local habits can
+# diverge later without repurposing either target.
+verify: vet fmt test race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

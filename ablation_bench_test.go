@@ -116,26 +116,29 @@ func BenchmarkAblationSmartVsDumbSchedule(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationParallelXor measures when splitting one block XOR
-// across goroutines pays off.
-func BenchmarkAblationParallelXor(b *testing.B) {
-	for _, size := range []int{1 << 16, 1 << 20} {
+// BenchmarkAblationFusedXor measures what schedule fusion buys at the
+// kernel level: one fused three-source accumulation vs. three separate
+// passes over the same destination block.
+func BenchmarkAblationFusedXor(b *testing.B) {
+	for _, size := range []int{4096, 1 << 16} {
 		dst := make([]byte, size)
-		src := make([]byte, size)
-		b.Run(fmt.Sprintf("serial/size=%dKB", size/1024), func(b *testing.B) {
-			b.SetBytes(int64(size))
+		a := make([]byte, size)
+		c := make([]byte, size)
+		d := make([]byte, size)
+		b.Run(fmt.Sprintf("three-passes/size=%dKB", size/1024), func(b *testing.B) {
+			b.SetBytes(3 * int64(size))
 			for i := 0; i < b.N; i++ {
-				xorblk.XorInto(dst, src)
+				xorblk.XorInto(dst, a)
+				xorblk.XorInto(dst, c)
+				xorblk.XorInto(dst, d)
 			}
 		})
-		for _, workers := range []int{2, 4} {
-			b.Run(fmt.Sprintf("workers=%d/size=%dKB", workers, size/1024), func(b *testing.B) {
-				b.SetBytes(int64(size))
-				for i := 0; i < b.N; i++ {
-					xorblk.ParallelXorInto(dst, src, workers)
-				}
-			})
-		}
+		b.Run(fmt.Sprintf("fused/size=%dKB", size/1024), func(b *testing.B) {
+			b.SetBytes(3 * int64(size))
+			for i := 0; i < b.N; i++ {
+				xorblk.XorInto3(dst, a, c, d)
+			}
+		})
 	}
 }
 

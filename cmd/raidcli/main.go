@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	raidcli encode -k 6 [-p 7] [-elem 4096] [-out DIR] FILE
-//	raidcli decode [-out FILE] MANIFEST
-//	raidcli repair MANIFEST
+//	raidcli encode -k 6 [-p 7] [-elem 4096] [-out DIR] [-workers N] [-batch N] FILE
+//	raidcli decode [-out FILE] [-workers N] [-batch N] MANIFEST
+//	raidcli repair [-workers N] [-batch N] MANIFEST
 //	raidcli info MANIFEST
 package main
 
@@ -57,9 +57,9 @@ func run(cmd string, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  raidcli encode -k K [-p P] [-elem N] [-out DIR] [-workers N] FILE
-  raidcli decode [-out FILE] MANIFEST
-  raidcli repair MANIFEST
+  raidcli encode -k K [-p P] [-elem N] [-out DIR] [-workers N] [-batch N] FILE
+  raidcli decode [-out FILE] [-workers N] [-batch N] MANIFEST
+  raidcli repair [-workers N] [-batch N] MANIFEST
   raidcli info MANIFEST`)
 	os.Exit(2)
 }
@@ -71,6 +71,7 @@ func cmdEncode(args []string) error {
 	elem := fs.Int("elem", 4096, "element size in bytes")
 	out := fs.String("out", ".", "output directory")
 	workers := fs.Int("workers", 1, "parallel encoding workers (0 = all cores)")
+	batch := fs.Int("batch", 0, "stripes per pipeline batch (0 = default)")
 	stats := fs.Bool("stats", false, "print operation statistics")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -90,12 +91,8 @@ func cmdEncode(args []string) error {
 	if *stats {
 		reg = obs.NewRegistry()
 	}
-	var m *shard.Manifest
-	if *workers == 1 {
-		m, err = shard.EncodeObserved(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, reg)
-	} else {
-		m, err = shard.EncodeParallelObserved(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, *workers, reg)
-	}
+	m, err := shard.EncodeOpts(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out,
+		streamOptions(*workers, *batch, reg))
 	if err != nil {
 		return err
 	}
@@ -108,6 +105,8 @@ func cmdEncode(args []string) error {
 func cmdDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	out := fs.String("out", "", "output file (default: recovered.<name>)")
+	workers := fs.Int("workers", 1, "parallel decoding workers (0 = all cores)")
+	batch := fs.Int("batch", 0, "stripes per streaming batch (0 = default)")
 	stats := fs.Bool("stats", false, "print operation statistics")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -131,7 +130,7 @@ func cmdDecode(args []string) error {
 	if *stats {
 		reg = obs.NewRegistry()
 	}
-	status, err := shard.DecodeObserved(manifest, f, reg)
+	status, err := shard.DecodeOpts(manifest, f, streamOptions(*workers, *batch, reg))
 	for _, st := range status {
 		mark := "ok"
 		switch {
@@ -152,6 +151,8 @@ func cmdDecode(args []string) error {
 
 func cmdRepair(args []string) error {
 	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	workers := fs.Int("workers", 1, "parallel decoding workers (0 = all cores)")
+	batch := fs.Int("batch", 0, "stripes per streaming batch (0 = default)")
 	stats := fs.Bool("stats", false, "print operation statistics")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -165,7 +166,7 @@ func cmdRepair(args []string) error {
 	if err != nil {
 		return err
 	}
-	repaired, err := shard.RepairObserved(fs.Arg(0), reg)
+	repaired, err := shard.RepairOpts(fs.Arg(0), streamOptions(*workers, *batch, reg))
 	if err != nil {
 		return err
 	}
@@ -195,6 +196,16 @@ func cmdInfo(args []string) error {
 		fmt.Printf("  %-16s crc32=%08x\n", m.ShardName(i), m.Checksums[i])
 	}
 	return nil
+}
+
+// streamOptions translates the CLI's -workers/-batch flags into shard
+// streaming options: on the command line 0 workers means all cores
+// (1, the default, codes in-line).
+func streamOptions(workers, batch int, reg *obs.Registry) shard.Options {
+	if workers == 0 {
+		workers = -1
+	}
+	return shard.Options{Workers: workers, BatchStripes: batch, Registry: reg}
 }
 
 // printStats renders the -stats summary: one line per span with element

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStripePoolZeroesReusedStripes(t *testing.T) {
+	p := NewStripePool(3, 5, 16)
+	s := p.Get()
+	if err := s.CheckShape(3, 5); err != nil {
+		t.Fatalf("pooled stripe shape: %v", err)
+	}
+	s.FillRandom(rand.New(rand.NewSource(1)))
+	s.Strips[3][0] = 0xff // dirty a parity strip too
+	p.Put(s)
+	got := p.Get()
+	for col, strip := range got.Strips {
+		for i, b := range strip {
+			if b != 0 {
+				t.Fatalf("reused stripe not zeroed at strip %d byte %d", col, i)
+			}
+		}
+	}
+}
+
+func TestStripePoolRejectsWrongShape(t *testing.T) {
+	p := NewStripePool(3, 5, 16)
+	p.Put(NewStripe(4, 5, 16)) // wrong k: must be dropped, not recycled
+	p.Put(nil)
+	s := p.Get()
+	if s.K != 3 || s.W != 5 || s.ElemSize != 16 {
+		t.Fatalf("pool produced shape %dx%dx%d, want 3x5x16", s.K, s.W, s.ElemSize)
+	}
+}
+
+func TestSharedStripePoolPerShape(t *testing.T) {
+	a := SharedStripePool(4, 5, 32)
+	b := SharedStripePool(4, 5, 32)
+	c := SharedStripePool(4, 7, 32)
+	if a != b {
+		t.Error("same shape returned distinct shared pools")
+	}
+	if a == c {
+		t.Error("different shapes share one pool")
+	}
+	s := a.Get()
+	a.Put(s)
+	if got := b.Get(); got.K != 4 || got.W != 5 || got.ElemSize != 32 {
+		t.Errorf("shared pool shape %dx%dx%d, want 4x5x32", got.K, got.W, got.ElemSize)
+	}
+}

@@ -78,6 +78,7 @@ func (c *Code) correctColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 	// Both parities disagree: a data strip is suspect. Predict dQ from dP
 	// for each candidate column and look for the unique match.
 	pred := make([]byte, p*elemSize)
+	diff := make([]byte, elemSize) // scratch, reused across all k*p comparisons
 	candidate := CleanColumn
 	for col := 0; col < k; col++ {
 		for i := range pred {
@@ -95,7 +96,6 @@ func (c *Code) correctColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 		}
 		match := true
 		for q := 0; q < p && match; q++ {
-			diff := make([]byte, elemSize)
 			xorblk.Xor(diff, predRow(q), dQ[q])
 			match = xorblk.IsZero(diff)
 		}

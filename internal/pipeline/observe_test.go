@@ -177,6 +177,9 @@ func TestPipelineObsSpans(t *testing.T) {
 	if _, ok := snap.Histograms["pipeline.encode.queue_wait.seconds"]; !ok {
 		t.Error("queue-wait histogram missing")
 	}
+	if _, ok := snap.Histograms["pipeline.encode.shutdown_wait.seconds"]; !ok {
+		t.Error("shutdown-wait histogram missing")
+	}
 	if h, ok := snap.Histograms["pipeline.worker.stripes"]; !ok || h.Count == 0 {
 		t.Error("per-worker stripes histogram missing or empty")
 	}

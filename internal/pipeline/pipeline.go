@@ -46,11 +46,17 @@ type Report struct {
 	Stripes   int   // stripes successfully processed
 	PerWorker []int // stripes processed by each worker (len == Workers)
 	// QueueWait is the total time workers spent blocked on the work
-	// queue (including the final wait for shutdown), summed over the
+	// queue waiting for a stripe they then received, summed over the
 	// pool. High values relative to Elapsed*Workers mean the producer
 	// or a straggler stripe is the bottleneck, not the pool.
 	QueueWait time.Duration
-	Elapsed   time.Duration
+	// ShutdownWait is the total time workers spent in their final wait —
+	// blocked on the queue between finishing their last stripe and the
+	// producer closing it — summed over the pool. It used to be folded
+	// into QueueWait, inflating that metric by up to Workers×(producer
+	// tail); it is pure teardown cost, not a dispatch bottleneck.
+	ShutdownWait time.Duration
+	Elapsed      time.Duration
 }
 
 // EncodeAll encodes every stripe with the given code, in parallel.
@@ -95,6 +101,25 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 	if n < 1 {
 		n = 1
 	}
+	feed := func(work chan<- *core.Stripe, stop *atomic.Bool) {
+		for _, s := range stripes {
+			if stop.Load() {
+				return
+			}
+			work <- s
+		}
+	}
+	return runPool(name, n, cfg, ops, feed, fn)
+}
+
+// runPool runs n workers over the stripes produced by feed, which sends
+// on the work channel until it has no more stripes (or stop is set) and
+// then returns; runPool closes the channel. Worker idle time is split
+// into QueueWait (waits that ended with a stripe) and ShutdownWait (each
+// worker's final wait, ended by the channel closing).
+func runPool(name string, n int, cfg Config, ops *core.Ops,
+	feed func(chan<- *core.Stripe, *atomic.Bool),
+	fn func(*core.Stripe, *core.Ops) error) (Report, error) {
 	start := time.Now()
 	rep := Report{Workers: n, PerWorker: make([]int, n)}
 	sp := obs.StartSpan(cfg.Registry, name)
@@ -107,6 +132,8 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 		if cfg.Registry != nil {
 			cfg.Registry.Observe(name+".queue_wait.seconds", obs.LatencyBuckets,
 				rep.QueueWait.Seconds())
+			cfg.Registry.Observe(name+".shutdown_wait.seconds", obs.LatencyBuckets,
+				rep.ShutdownWait.Seconds())
 			for _, c := range rep.PerWorker {
 				cfg.Registry.Observe("pipeline.worker.stripes", obs.SizeBuckets, float64(c))
 			}
@@ -118,15 +145,32 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 	}
 
 	if n == 1 {
-		for _, s := range stripes {
-			if err := fn(s, &total); err != nil {
-				return finish(err)
+		var stop atomic.Bool
+		work := make(chan *core.Stripe)
+		go func() {
+			feed(work, &stop)
+			close(work)
+		}()
+		var err error
+		for {
+			t0 := time.Now()
+			s, ok := <-work
+			if !ok {
+				rep.ShutdownWait += time.Since(t0)
+				break
+			}
+			rep.QueueWait += time.Since(t0)
+			if err = fn(s, &total); err != nil {
+				stop.Store(true)
+				for range work { // drain so feed never blocks
+				}
+				break
 			}
 			bytes += s.DataSize()
 			rep.Stripes++
 			rep.PerWorker[0]++
 		}
-		return finish(nil)
+		return finish(err)
 	}
 
 	var stop atomic.Bool
@@ -135,6 +179,7 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 	partial := make([]core.Ops, n)
 	perWorker := rep.PerWorker
 	waits := make([]time.Duration, n)
+	tailWaits := make([]time.Duration, n)
 	bytesW := make([]int, n)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
@@ -144,10 +189,11 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 			for {
 				t0 := time.Now()
 				s, ok := <-work
-				waits[w] += time.Since(t0)
 				if !ok {
+					tailWaits[w] += time.Since(t0)
 					return
 				}
+				waits[w] += time.Since(t0)
 				if stop.Load() {
 					continue // drain so the producer never blocks
 				}
@@ -164,18 +210,14 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 			}
 		}(w)
 	}
-	for _, s := range stripes {
-		if stop.Load() {
-			break
-		}
-		work <- s
-	}
+	feed(work, &stop)
 	close(work)
 	wg.Wait()
 	for w := range partial {
 		total.Add(partial[w])
 		rep.Stripes += perWorker[w]
 		rep.QueueWait += waits[w]
+		rep.ShutdownWait += tailWaits[w]
 		bytes += bytesW[w]
 	}
 	select {
@@ -190,8 +232,15 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 // code and element size, copying the data into the stripes' data strips.
 // The final stripe is zero-padded. It is the standard preparation step
 // for EncodeAll over a large write.
+//
+// The stripes come from the process-wide stripe pool
+// (core.SharedStripePool); callers that are done with them can hand them
+// back via ReleaseStripes so steady-state bulk traffic allocates nothing
+// per stripe. Releasing is optional — unreleased stripes are ordinary
+// garbage.
 func SplitBuffer(code core.Code, elemSize int, data []byte) []*core.Stripe {
 	k, w := code.K(), code.W()
+	pool := core.SharedStripePool(k, w, elemSize)
 	perStripe := k * w * elemSize
 	n := (len(data) + perStripe - 1) / perStripe
 	if n == 0 {
@@ -199,7 +248,7 @@ func SplitBuffer(code core.Code, elemSize int, data []byte) []*core.Stripe {
 	}
 	stripes := make([]*core.Stripe, n)
 	for i := range stripes {
-		s := core.NewStripe(k, w, elemSize)
+		s := pool.Get()
 		off := i * perStripe
 		for t := 0; t < k; t++ {
 			lo := off + t*w*elemSize
@@ -211,4 +260,14 @@ func SplitBuffer(code core.Code, elemSize int, data []byte) []*core.Stripe {
 		stripes[i] = s
 	}
 	return stripes
+}
+
+// ReleaseStripes returns stripes (e.g. from SplitBuffer) to the shared
+// stripe pool. The caller must not touch them afterwards.
+func ReleaseStripes(stripes []*core.Stripe) {
+	for _, s := range stripes {
+		if s != nil {
+			core.SharedStripePool(s.K, s.W, s.ElemSize).Put(s)
+		}
+	}
 }

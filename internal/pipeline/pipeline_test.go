@@ -2,7 +2,9 @@ package pipeline
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/liberation"
@@ -110,6 +112,58 @@ func TestSplitBuffer(t *testing.T) {
 	}
 	if got := len(SplitBuffer(code, 16, nil)); got != 1 {
 		t.Errorf("empty buffer gave %d stripes, want 1", got)
+	}
+}
+
+// TestQueueWaitVsShutdownWait pins the split between the two idle-time
+// metrics: a producer tail after the last stripe (EOF probing, manifest
+// writing, a slow upstream reader closing) is teardown and must land in
+// ShutdownWait, while waits that end with a stripe being received are
+// genuine dispatch stalls and must land in QueueWait. Folding the final
+// channel-close wait into QueueWait — the old behavior — inflated it by
+// up to Workers×(producer tail).
+func TestQueueWaitVsShutdownWait(t *testing.T) {
+	nop := func(*core.Stripe, *core.Ops) error { return nil }
+	const tail = 150 * time.Millisecond
+
+	// Producer tail after the last send: workers sit in their final wait
+	// until the feed returns and the queue closes.
+	rep, err := runPool("pipeline.encode", 2, Config{}, nil,
+		func(work chan<- *core.Stripe, stop *atomic.Bool) {
+			work <- core.NewStripe(3, 3, 8)
+			work <- core.NewStripe(3, 3, 8)
+			time.Sleep(tail)
+		}, nop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stripes != 2 {
+		t.Fatalf("processed %d stripes, want 2", rep.Stripes)
+	}
+	// Both workers idle through the tail: the sum must see most of 2×tail.
+	if rep.ShutdownWait < tail {
+		t.Errorf("ShutdownWait = %v, want >= %v (producer tail not attributed)", rep.ShutdownWait, tail)
+	}
+	if rep.QueueWait > tail/2 {
+		t.Errorf("QueueWait = %v; producer tail leaked into queue wait", rep.QueueWait)
+	}
+
+	// Slow producer between stripes: that wait ends with a received
+	// stripe, so it is queue wait, not shutdown wait.
+	rep, err = runPool("pipeline.encode", 1, Config{}, nil,
+		func(work chan<- *core.Stripe, stop *atomic.Bool) {
+			work <- core.NewStripe(3, 3, 8)
+			time.Sleep(tail)
+			work <- core.NewStripe(3, 3, 8)
+		}, nop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueueWait < tail*2/3 {
+		t.Errorf("QueueWait = %v, want >= %v (slow producer not attributed)", rep.QueueWait, tail*2/3)
+	}
+	if rep.ShutdownWait > tail/2 {
+		t.Errorf("ShutdownWait = %v; dispatch stall misattributed to shutdown", rep.ShutdownWait)
 	}
 }
 

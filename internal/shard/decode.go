@@ -1,0 +1,330 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// Decode reconstructs the original file from the shard set described by
+// the manifest at manifestPath (shards are looked up in the same
+// directory) and writes it to w. Missing or checksum-corrupt shards are
+// treated as erasures; up to two are tolerated. It returns the per-shard
+// status that recovery observed.
+func Decode(manifestPath string, w io.Writer) ([]ShardStatus, error) {
+	return DecodeOpts(manifestPath, w, Options{})
+}
+
+// DecodeObserved is Decode with a metrics registry attached (see
+// EncodeObserved); recovery work shows up as liberation.decode spans
+// under a shard.decode span, with the health probe as shard.probe.
+func DecodeObserved(manifestPath string, w io.Writer, reg *obs.Registry) ([]ShardStatus, error) {
+	return DecodeOpts(manifestPath, w, Options{Registry: reg})
+}
+
+// DecodeOpts is the streaming decoder behind Decode.
+//
+// The erasure decision is made up front by a cheap probe (stat for
+// presence and size, then a streamed CRC-32 pass in O(1) memory); the
+// surviving shards are then read stripe-by-stripe through per-shard
+// readers, reconstructed batch-at-a-time (over a worker pool when
+// opt.Workers > 1), and written straight to w. Rolling CRCs re-verify
+// every surviving shard while it streams, so a shard that changes
+// between the probe and the read is detected rather than silently
+// decoded into the output. Peak memory is O(BatchStripes × stripe)
+// regardless of file size.
+func DecodeOpts(manifestPath string, w io.Writer, opt Options) (_ []ShardStatus, err error) {
+	m, err := LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	reg := opt.Registry
+	code, err := newCode(m.K, m.P, reg)
+	if err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan(reg, "shard.decode")
+	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
+
+	dir := filepath.Dir(manifestPath)
+	files, status, erased, err := probeShards(m, dir, reg)
+	if err != nil {
+		return status, err
+	}
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+
+	stripBytes, _ := m.shardShape()
+	readers := newShardReaders(files)
+	rolling := make([]uint32, m.K+2)
+
+	stripes := streamBatch(opt, m, code)
+	defer releaseStripes(stripes)
+
+	remaining := m.FileSize
+	for done := 0; done < m.Stripes; {
+		n := len(stripes)
+		if rem := m.Stripes - done; n > rem {
+			n = rem
+		}
+		if err = fillBatch(readers, stripes[:n], rolling); err != nil {
+			return status, err
+		}
+		if len(erased) > 0 {
+			if err = decodeBatch(code, stripes[:n], erased, opt); err != nil {
+				return status, err
+			}
+		}
+		for j := 0; j < n; j++ {
+			for t := 0; t < m.K && remaining > 0; t++ {
+				out := int64(stripBytes)
+				if out > remaining {
+					out = remaining
+				}
+				if _, err = w.Write(stripes[j].Strips[t][:out]); err != nil {
+					return status, err
+				}
+				remaining -= out
+			}
+		}
+		done += n
+	}
+	if remaining != 0 {
+		err = fmt.Errorf("shard: %d bytes unaccounted for", remaining)
+		return status, err
+	}
+	if err = verifyRolling(m, files, rolling); err != nil {
+		return status, err
+	}
+	return status, nil
+}
+
+// Repair reconstructs missing/corrupt shards in place (writing repaired
+// shard files back into the manifest's directory) and returns the indices
+// repaired.
+func Repair(manifestPath string) ([]int, error) {
+	return RepairOpts(manifestPath, Options{})
+}
+
+// RepairObserved is Repair with a metrics registry attached (see
+// EncodeObserved).
+func RepairObserved(manifestPath string, reg *obs.Registry) ([]int, error) {
+	return RepairOpts(manifestPath, Options{Registry: reg})
+}
+
+// RepairOpts is the streaming repairer behind Repair. It shares the
+// probe and the bounded-memory stripe loop with DecodeOpts, but routes
+// the reconstructed strips into fresh shard files written next to the
+// originals: each repaired shard streams into a temporary file whose
+// rolling CRC must reproduce the manifest checksum before it is renamed
+// over the broken shard, so a failed repair never clobbers anything.
+func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
+	m, err := LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	reg := opt.Registry
+	code, err := newCode(m.K, m.P, reg)
+	if err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan(reg, "shard.repair")
+	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
+
+	dir := filepath.Dir(manifestPath)
+	files, _, erased, err := probeShards(m, dir, reg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	if len(erased) == 0 {
+		return nil, nil
+	}
+
+	// Repaired shards stream into temp files, verified before rename.
+	tmpFiles := make(map[int]*os.File, len(erased))
+	tmpWriters := make(map[int]*bufio.Writer, len(erased))
+	var tmpPaths []string
+	defer func() {
+		for _, f := range tmpFiles {
+			if f != nil {
+				f.Close()
+			}
+		}
+		if err != nil {
+			for _, p := range tmpPaths {
+				os.Remove(p)
+			}
+		}
+	}()
+	for _, e := range erased {
+		path := filepath.Join(dir, m.ShardName(e)+".repair")
+		f, createErr := os.Create(path)
+		if createErr != nil {
+			err = createErr
+			return nil, err
+		}
+		tmpPaths = append(tmpPaths, path)
+		tmpFiles[e] = f
+		tmpWriters[e] = bufio.NewWriterSize(f, 256<<10)
+	}
+
+	readers := newShardReaders(files)
+	rolling := make([]uint32, m.K+2)
+	stripes := streamBatch(opt, m, code)
+	defer releaseStripes(stripes)
+
+	for done := 0; done < m.Stripes; {
+		n := len(stripes)
+		if rem := m.Stripes - done; n > rem {
+			n = rem
+		}
+		if err = fillBatch(readers, stripes[:n], rolling); err != nil {
+			return nil, err
+		}
+		if err = decodeBatch(code, stripes[:n], erased, opt); err != nil {
+			return nil, err
+		}
+		for j := 0; j < n; j++ {
+			for _, e := range erased {
+				strip := stripes[j].Strips[e]
+				if _, err = tmpWriters[e].Write(strip); err != nil {
+					return nil, err
+				}
+				rolling[e] = crc32.Update(rolling[e], crc32.IEEETable, strip)
+			}
+		}
+		done += n
+	}
+	if err = verifyRolling(m, files, rolling); err != nil {
+		return nil, err
+	}
+	for _, e := range erased {
+		if rolling[e] != m.Checksums[e] {
+			err = fmt.Errorf("shard: repaired shard %d fails its checksum", e)
+			return nil, err
+		}
+	}
+	for _, e := range erased {
+		if err = tmpWriters[e].Flush(); err != nil {
+			return nil, err
+		}
+		if err = tmpFiles[e].Close(); err != nil {
+			tmpFiles[e] = nil
+			return nil, err
+		}
+		tmpFiles[e] = nil
+		if err = os.Rename(filepath.Join(dir, m.ShardName(e)+".repair"),
+			filepath.Join(dir, m.ShardName(e))); err != nil {
+			return nil, err
+		}
+	}
+	return erased, nil
+}
+
+// streamBatch sizes the batch for one streaming call and takes its
+// stripes from the shared pool.
+func streamBatch(opt Options, m *Manifest, code interface{ W() int }) []*core.Stripe {
+	n := opt.batch()
+	if n > m.Stripes {
+		n = m.Stripes
+	}
+	if n < 1 {
+		n = 1
+	}
+	pool := core.SharedStripePool(m.K, code.W(), m.ElemSize)
+	stripes := make([]*core.Stripe, n)
+	for i := range stripes {
+		stripes[i] = pool.Get()
+	}
+	return stripes
+}
+
+// releaseStripes hands a streaming batch back to the shared pool.
+func releaseStripes(stripes []*core.Stripe) {
+	for _, s := range stripes {
+		if s != nil {
+			core.SharedStripePool(s.K, s.W, s.ElemSize).Put(s)
+		}
+	}
+}
+
+// newShardReaders wraps the surviving shard files in buffered readers;
+// erased slots stay nil.
+func newShardReaders(files []*os.File) []*bufio.Reader {
+	readers := make([]*bufio.Reader, len(files))
+	for i, f := range files {
+		if f != nil {
+			readers[i] = bufio.NewReaderSize(f, 128<<10)
+		}
+	}
+	return readers
+}
+
+// fillBatch reads the next strip of every surviving shard into each
+// stripe of the batch, updating the rolling CRCs. Erased strips are left
+// as-is: the decoder rewrites them from scratch.
+func fillBatch(readers []*bufio.Reader, stripes []*core.Stripe, rolling []uint32) error {
+	for _, s := range stripes {
+		for i, br := range readers {
+			if br == nil {
+				continue
+			}
+			if _, err := io.ReadFull(br, s.Strips[i]); err != nil {
+				return fmt.Errorf("shard: shard %d truncated mid-stream: %w", i, err)
+			}
+			rolling[i] = crc32.Update(rolling[i], crc32.IEEETable, s.Strips[i])
+		}
+	}
+	return nil
+}
+
+// decodeBatch reconstructs the erased strips of every stripe in the
+// batch, over a worker pool when the options ask for one.
+func decodeBatch(code core.Code, stripes []*core.Stripe, erased []int, opt Options) error {
+	if workers := opt.workerCount(); workers > 1 {
+		return pipeline.DecodeAll(code, stripes, erased, nil,
+			pipeline.Config{Workers: workers, Registry: opt.Registry})
+	}
+	for _, s := range stripes {
+		if err := code.Decode(s, erased, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyRolling checks the rolling CRCs of every surviving shard against
+// the manifest: a mismatch means the shard changed between the up-front
+// probe and the streaming read, and whatever was reconstructed from it
+// cannot be trusted.
+func verifyRolling(m *Manifest, files []*os.File, rolling []uint32) error {
+	for i, f := range files {
+		if f == nil {
+			continue
+		}
+		if rolling[i] != m.Checksums[i] {
+			return fmt.Errorf("shard: shard %d (%s) changed while streaming: checksum %08x, manifest %08x",
+				i, m.ShardName(i), rolling[i], m.Checksums[i])
+		}
+	}
+	return nil
+}

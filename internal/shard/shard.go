@@ -3,6 +3,15 @@
 // lost (or silently corrupted — detected via per-shard checksums) while
 // the file remains recoverable. It is the library behind the raidcli
 // tool and doubles as an end-to-end exercise of the public coding API.
+//
+// The data path is streaming in both directions. Encoding overlaps
+// read → encode → write through a double-buffered batch pipeline (a
+// reader goroutine fills batch N+1 while the worker pool encodes batch N
+// and a writer goroutine drains batch N-1), and decoding/repair read all
+// k+2 shards stripe-by-stripe through per-shard file readers. Peak
+// memory is O(batch × stripe) regardless of file size; shard health is
+// decided up front by a cheap stat+checksum probe and re-verified
+// incrementally by rolling CRCs while the stripes stream through.
 package shard
 
 import (
@@ -12,8 +21,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
-	"repro/internal/core"
 	"repro/internal/liberation"
 	"repro/internal/obs"
 )
@@ -37,6 +47,61 @@ func newCode(k, p int, reg *obs.Registry) (*liberation.Code, error) {
 
 // FormatVersion identifies the manifest/shard layout.
 const FormatVersion = 1
+
+// DefaultBatchStripes is the pipeline batch size used when
+// Options.BatchStripes is zero. It bounds the streaming paths' resident
+// memory at O(DefaultBatchStripes × stripe) while keeping the worker
+// pool fed.
+const DefaultBatchStripes = 32
+
+// Options tunes the streaming data path. The zero value is valid:
+// serial coding, default batch size, no metrics.
+type Options struct {
+	// Workers sets the stripe-coding pool size: 0 or 1 encode/decode
+	// in-line on the pipeline's coding stage, >1 fans stripes of each
+	// batch out over a pipeline worker pool, and <0 uses all cores.
+	Workers int
+	// BatchStripes is the number of stripes per pipeline batch
+	// (0 = DefaultBatchStripes). Peak memory scales with it.
+	BatchStripes int
+	// Registry, when non-nil, receives shard.* spans, the pipeline
+	// stage-wait histograms, and the queue-depth gauge, and is attached
+	// to the underlying code (liberation.* spans) and worker pool.
+	Registry *obs.Registry
+}
+
+func (o Options) batch() int {
+	if o.BatchStripes > 0 {
+		return o.BatchStripes
+	}
+	return DefaultBatchStripes
+}
+
+func (o Options) workerCount() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers == 0:
+		return 1
+	default:
+		return o.Workers
+	}
+}
+
+// observeWait is a nil-safe latency-histogram observation for the
+// pipeline stage metrics.
+func observeWait(reg *obs.Registry, name string, d time.Duration) {
+	if reg != nil {
+		reg.Observe(name, obs.LatencyBuckets, d.Seconds())
+	}
+}
+
+// addGauge is a nil-safe gauge increment.
+func addGauge(reg *obs.Registry, name string, delta float64) {
+	if reg != nil {
+		reg.Gauge(name).Add(delta)
+	}
+}
 
 // Manifest describes an encoded shard set. It is stored as JSON next to
 // the shards.
@@ -69,100 +134,6 @@ func (m *Manifest) ShardName(i int) string {
 // ManifestName returns the manifest file name for a given input name.
 func ManifestName(fileName string) string { return fileName + ".manifest.json" }
 
-// Encode splits the contents of r (size bytes) into k+2 shards written to
-// outDir, returning the manifest (also written to outDir). p = 0 selects
-// the smallest usable prime automatically.
-func Encode(r io.Reader, size int64, fileName string, k, p, elemSize int, outDir string) (*Manifest, error) {
-	return EncodeObserved(r, size, fileName, k, p, elemSize, outDir, nil)
-}
-
-// EncodeObserved is Encode with a metrics registry attached to the
-// underlying code: the per-algorithm spans (liberation.encode) and a
-// shard.encode span covering the whole file land in reg. A nil registry
-// makes it identical to Encode.
-func EncodeObserved(r io.Reader, size int64, fileName string, k, p, elemSize int,
-	outDir string, reg *obs.Registry) (_ *Manifest, err error) {
-	if size < 0 {
-		return nil, fmt.Errorf("%w: negative size", core.ErrParams)
-	}
-	code, err := newCode(k, p, reg)
-	if err != nil {
-		return nil, err
-	}
-	sp := obs.StartSpan(reg, "shard.encode")
-	defer func() { sp.Bytes(int(size)).End(err) }()
-	w := code.W()
-	perStripe := int64(k) * int64(w) * int64(elemSize)
-	stripes := int((size + perStripe - 1) / perStripe)
-	if stripes == 0 {
-		stripes = 1
-	}
-	m := &Manifest{
-		Version:  FormatVersion,
-		Code:     "liberation",
-		K:        k,
-		P:        code.P(),
-		ElemSize: elemSize,
-		FileName: filepath.Base(fileName),
-		FileSize: size,
-		Stripes:  stripes,
-	}
-
-	files := make([]*os.File, k+2)
-	sums := make([]uint32, k+2)
-	for i := range files {
-		f, err := os.Create(filepath.Join(outDir, m.ShardName(i)))
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		files[i] = f
-	}
-
-	stripe := core.NewStripe(k, w, elemSize)
-	buf := make([]byte, perStripe)
-	var consumed int64
-	for s := 0; s < stripes; s++ {
-		n, err := io.ReadFull(r, buf)
-		if err == io.ErrUnexpectedEOF || err == io.EOF {
-			for i := n; i < len(buf); i++ {
-				buf[i] = 0
-			}
-		} else if err != nil {
-			return nil, err
-		}
-		consumed += int64(n)
-		for t := 0; t < k; t++ {
-			copy(stripe.Strips[t], buf[t*w*elemSize:])
-		}
-		if err := code.Encode(stripe, nil); err != nil {
-			return nil, err
-		}
-		for i := 0; i < k+2; i++ {
-			if _, err := files[i].Write(stripe.Strips[i]); err != nil {
-				return nil, err
-			}
-			sums[i] = crc32.Update(sums[i], crc32.IEEETable, stripe.Strips[i])
-		}
-	}
-	if consumed != size {
-		return nil, fmt.Errorf("shard: read %d bytes, expected %d", consumed, size)
-	}
-	m.Checksums = sums
-
-	mf, err := os.Create(filepath.Join(outDir, ManifestName(m.FileName)))
-	if err != nil {
-		return nil, err
-	}
-	defer mf.Close()
-	enc := json.NewEncoder(mf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(m); err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
 // LoadManifest reads and validates a manifest file.
 func LoadManifest(path string) (*Manifest, error) {
 	data, err := os.ReadFile(path)
@@ -194,152 +165,104 @@ type ShardStatus struct {
 	Valid   bool // checksum matched
 }
 
-// Decode reconstructs the original file from the shard set described by
-// the manifest at manifestPath (shards are looked up in the same
-// directory) and writes it to w. Missing or checksum-corrupt shards are
-// treated as erasures; up to two are tolerated. It returns the per-shard
-// status that recovery observed.
-func Decode(manifestPath string, w io.Writer) ([]ShardStatus, error) {
-	return DecodeObserved(manifestPath, w, nil)
-}
+// probeBufSize is the scratch-buffer size of the streaming checksum
+// probe: the probe reads each shard once in probeBufSize chunks, so its
+// resident memory is O(1) regardless of shard size.
+const probeBufSize = 128 << 10
 
-// DecodeObserved is Decode with a metrics registry attached (see
-// EncodeObserved); recovery work shows up as liberation.decode spans
-// under a shard.decode span.
-func DecodeObserved(manifestPath string, w io.Writer, reg *obs.Registry) (_ []ShardStatus, err error) {
-	m, err := LoadManifest(manifestPath)
-	if err != nil {
-		return nil, err
+// probeShards makes the up-front erasure decision for every shard of m:
+// a missing file, a wrong size (cheap stat), or a CRC-32 mismatch
+// (streamed in O(1) memory) marks the shard erased. Usable shards come
+// back as open files positioned at offset 0; the caller owns them. The
+// work is recorded as a shard.probe span.
+func probeShards(m *Manifest, dir string, reg *obs.Registry) (files []*os.File, status []ShardStatus, erased []int, err error) {
+	sp := obs.StartSpan(reg, "shard.probe")
+	defer func() { sp.End(err) }()
+	_, shardSize := m.shardShape()
+	buf := make([]byte, probeBufSize)
+	files = make([]*os.File, m.K+2)
+	status = make([]ShardStatus, m.K+2)
+	closeAll := func() {
+		for i, f := range files {
+			if f != nil {
+				f.Close()
+				files[i] = nil
+			}
+		}
 	}
-	dir := filepath.Dir(manifestPath)
-	code, err := newCode(m.K, m.P, reg)
-	if err != nil {
-		return nil, err
-	}
-	sp := obs.StartSpan(reg, "shard.decode")
-	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
-	width := code.W()
-	stripBytes := width * m.ElemSize
-	shardSize := int64(m.Stripes) * int64(stripBytes)
-
-	status := make([]ShardStatus, m.K+2)
-	data := make([][]byte, m.K+2)
-	var erased []int
 	for i := range status {
 		status[i] = ShardStatus{Index: i, Name: m.ShardName(i)}
-		b, err := os.ReadFile(filepath.Join(dir, m.ShardName(i)))
-		switch {
-		case err != nil:
+		f, openErr := os.Open(filepath.Join(dir, m.ShardName(i)))
+		if openErr != nil {
 			erased = append(erased, i)
-		case int64(len(b)) != shardSize:
-			erased = append(erased, i)
-			status[i].Present = true
-		case crc32.ChecksumIEEE(b) != m.Checksums[i]:
-			erased = append(erased, i)
-			status[i].Present = true
-		default:
-			status[i].Present, status[i].Valid = true, true
-			data[i] = b
-		}
-	}
-	if len(erased) > 2 {
-		return status, fmt.Errorf("shard: %d shards unusable, can recover at most 2", len(erased))
-	}
-	for _, e := range erased {
-		data[e] = make([]byte, shardSize)
-	}
-
-	stripe := core.NewStripe(m.K, width, m.ElemSize)
-	remaining := m.FileSize
-	for s := 0; s < m.Stripes; s++ {
-		off := s * stripBytes
-		for i := 0; i < m.K+2; i++ {
-			copy(stripe.Strips[i], data[i][off:off+stripBytes])
-		}
-		if len(erased) > 0 {
-			if err := code.Decode(stripe, erased, nil); err != nil {
-				return status, err
-			}
-		}
-		for t := 0; t < m.K && remaining > 0; t++ {
-			n := int64(stripBytes)
-			if n > remaining {
-				n = remaining
-			}
-			if _, err := w.Write(stripe.Strips[t][:n]); err != nil {
-				return status, err
-			}
-			remaining -= n
-		}
-	}
-	if remaining != 0 {
-		return status, fmt.Errorf("shard: %d bytes unaccounted for", remaining)
-	}
-	return status, nil
-}
-
-// Repair reconstructs missing/corrupt shards in place (writing repaired
-// shard files back into the manifest's directory) and returns the indices
-// repaired.
-func Repair(manifestPath string) ([]int, error) {
-	return RepairObserved(manifestPath, nil)
-}
-
-// RepairObserved is Repair with a metrics registry attached (see
-// EncodeObserved).
-func RepairObserved(manifestPath string, reg *obs.Registry) (_ []int, err error) {
-	m, err := LoadManifest(manifestPath)
-	if err != nil {
-		return nil, err
-	}
-	dir := filepath.Dir(manifestPath)
-	code, err := newCode(m.K, m.P, reg)
-	if err != nil {
-		return nil, err
-	}
-	sp := obs.StartSpan(reg, "shard.repair")
-	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
-	width := code.W()
-	stripBytes := width * m.ElemSize
-	shardSize := int64(m.Stripes) * int64(stripBytes)
-
-	data := make([][]byte, m.K+2)
-	var erased []int
-	for i := range data {
-		b, err := os.ReadFile(filepath.Join(dir, m.ShardName(i)))
-		if err != nil || int64(len(b)) != shardSize || crc32.ChecksumIEEE(b) != m.Checksums[i] {
-			erased = append(erased, i)
-			data[i] = make([]byte, shardSize)
 			continue
 		}
-		data[i] = b
-	}
-	if len(erased) == 0 {
-		return nil, nil
+		status[i].Present = true
+		st, statErr := f.Stat()
+		if statErr != nil || st.Size() != shardSize {
+			erased = append(erased, i)
+			f.Close()
+			continue
+		}
+		sum, crcErr := streamCRC(f, buf)
+		if crcErr != nil || sum != m.Checksums[i] {
+			erased = append(erased, i)
+			f.Close()
+			continue
+		}
+		if _, seekErr := f.Seek(0, io.SeekStart); seekErr != nil {
+			closeAll()
+			return nil, status, nil, seekErr
+		}
+		status[i].Valid = true
+		files[i] = f
 	}
 	if len(erased) > 2 {
-		return nil, fmt.Errorf("shard: %d shards unusable, can repair at most 2", len(erased))
+		closeAll()
+		return nil, status, erased,
+			fmt.Errorf("shard: %d shards unusable, can recover at most 2", len(erased))
 	}
-	stripe := core.NewStripe(m.K, width, m.ElemSize)
-	for s := 0; s < m.Stripes; s++ {
-		off := s * stripBytes
-		for i := range data {
-			copy(stripe.Strips[i], data[i][off:off+stripBytes])
+	return files, status, erased, nil
+}
+
+// streamCRC computes the CRC-32 (IEEE) of r's remaining contents using
+// the supplied scratch buffer.
+func streamCRC(r io.Reader, buf []byte) (uint32, error) {
+	var sum uint32
+	for {
+		n, err := r.Read(buf)
+		sum = crc32.Update(sum, crc32.IEEETable, buf[:n])
+		if err == io.EOF {
+			return sum, nil
 		}
-		if err := code.Decode(stripe, erased, nil); err != nil {
-			return nil, err
-		}
-		for _, e := range erased {
-			copy(data[e][off:off+stripBytes], stripe.Strips[e])
-		}
-	}
-	for _, e := range erased {
-		if crc32.ChecksumIEEE(data[e]) != m.Checksums[e] {
-			return nil, fmt.Errorf("shard: repaired shard %d fails its checksum", e)
-		}
-		if err := os.WriteFile(filepath.Join(dir, m.ShardName(e)), data[e], 0o644); err != nil {
-			return nil, err
+		if err != nil {
+			return sum, err
 		}
 	}
-	return erased, nil
+}
+
+// shardShape returns the strip size in bytes and the byte size every
+// shard file must have.
+func (m *Manifest) shardShape() (stripBytes int, shardSize int64) {
+	stripBytes = m.widthElems() * m.ElemSize
+	return stripBytes, int64(m.Stripes) * int64(stripBytes)
+}
+
+// widthElems returns W (elements per strip) for the manifest's code: p
+// for the Liberation codes.
+func (m *Manifest) widthElems() int { return m.P }
+
+// writeManifest stores m as indented JSON at path.
+func writeManifest(m *Manifest, path string) error {
+	mf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
 }

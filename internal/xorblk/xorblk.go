@@ -14,7 +14,6 @@ package xorblk
 
 import (
 	"encoding/binary"
-	"sync"
 )
 
 // Xor sets dst = a ^ b. All three slices must have the same length and may
@@ -96,37 +95,6 @@ func IsZero(b []byte) bool {
 	return acc == 0
 }
 
-// ParallelXorInto sets dst ^= src, splitting the work across the given
-// number of goroutines. It is profitable only for blocks much larger than
-// a cache line; callers should fall back to XorInto for small blocks.
-func ParallelXorInto(dst, src []byte, workers int) {
-	n := len(dst)
-	if len(src) != n {
-		panic("xorblk: length mismatch")
-	}
-	if workers <= 1 || n < 1<<14 {
-		XorInto(dst, src)
-		return
-	}
-	chunk := (n/workers + 63) &^ 63 // cache-line aligned chunks
-	if chunk == 0 {
-		chunk = n
-	}
-	var wg sync.WaitGroup
-	for off := 0; off < n; off += chunk {
-		end := off + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(d, s []byte) {
-			defer wg.Done()
-			XorInto(d, s)
-		}(dst[off:end], src[off:end])
-	}
-	wg.Wait()
-}
-
 // XorInto2 sets dst ^= a ^ b in a single pass over dst.
 func XorInto2(dst, a, b []byte) {
 	n := len(dst)
@@ -134,6 +102,24 @@ func XorInto2(dst, a, b []byte) {
 		panic("xorblk: length mismatch")
 	}
 	i := 0
+	for ; i+32 <= n; i += 32 {
+		w0 := binary.LittleEndian.Uint64(dst[i:]) ^
+			binary.LittleEndian.Uint64(a[i:]) ^
+			binary.LittleEndian.Uint64(b[i:])
+		w1 := binary.LittleEndian.Uint64(dst[i+8:]) ^
+			binary.LittleEndian.Uint64(a[i+8:]) ^
+			binary.LittleEndian.Uint64(b[i+8:])
+		w2 := binary.LittleEndian.Uint64(dst[i+16:]) ^
+			binary.LittleEndian.Uint64(a[i+16:]) ^
+			binary.LittleEndian.Uint64(b[i+16:])
+		w3 := binary.LittleEndian.Uint64(dst[i+24:]) ^
+			binary.LittleEndian.Uint64(a[i+24:]) ^
+			binary.LittleEndian.Uint64(b[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+8:], w1)
+		binary.LittleEndian.PutUint64(dst[i+16:], w2)
+		binary.LittleEndian.PutUint64(dst[i+24:], w3)
+	}
 	for ; i+8 <= n; i += 8 {
 		binary.LittleEndian.PutUint64(dst[i:],
 			binary.LittleEndian.Uint64(dst[i:])^
@@ -152,6 +138,28 @@ func XorInto3(dst, a, b, c []byte) {
 		panic("xorblk: length mismatch")
 	}
 	i := 0
+	for ; i+32 <= n; i += 32 {
+		w0 := binary.LittleEndian.Uint64(dst[i:]) ^
+			binary.LittleEndian.Uint64(a[i:]) ^
+			binary.LittleEndian.Uint64(b[i:]) ^
+			binary.LittleEndian.Uint64(c[i:])
+		w1 := binary.LittleEndian.Uint64(dst[i+8:]) ^
+			binary.LittleEndian.Uint64(a[i+8:]) ^
+			binary.LittleEndian.Uint64(b[i+8:]) ^
+			binary.LittleEndian.Uint64(c[i+8:])
+		w2 := binary.LittleEndian.Uint64(dst[i+16:]) ^
+			binary.LittleEndian.Uint64(a[i+16:]) ^
+			binary.LittleEndian.Uint64(b[i+16:]) ^
+			binary.LittleEndian.Uint64(c[i+16:])
+		w3 := binary.LittleEndian.Uint64(dst[i+24:]) ^
+			binary.LittleEndian.Uint64(a[i+24:]) ^
+			binary.LittleEndian.Uint64(b[i+24:]) ^
+			binary.LittleEndian.Uint64(c[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+8:], w1)
+		binary.LittleEndian.PutUint64(dst[i+16:], w2)
+		binary.LittleEndian.PutUint64(dst[i+24:], w3)
+	}
 	for ; i+8 <= n; i += 8 {
 		binary.LittleEndian.PutUint64(dst[i:],
 			binary.LittleEndian.Uint64(dst[i:])^

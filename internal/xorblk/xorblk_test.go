@@ -2,6 +2,7 @@ package xorblk
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -108,24 +109,6 @@ func TestIsZero(t *testing.T) {
 	}
 }
 
-func TestParallelXorInto(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
-	for _, n := range []int{0, 100, 1 << 14, 1<<16 + 13} {
-		a := make([]byte, n)
-		b := make([]byte, n)
-		rng.Read(a)
-		rng.Read(b)
-		want := refXor(a, b)
-		for _, workers := range []int{1, 2, 4, 7} {
-			acc := append([]byte(nil), a...)
-			ParallelXorInto(acc, b, workers)
-			if !bytes.Equal(acc, want) {
-				t.Fatalf("ParallelXorInto wrong at n=%d workers=%d", n, workers)
-			}
-		}
-	}
-}
-
 func TestLengthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -150,6 +133,38 @@ func BenchmarkXorInto64K(b *testing.B) {
 	b.SetBytes(65536)
 	for i := 0; i < b.N; i++ {
 		XorInto(dst, src)
+	}
+}
+
+// BenchmarkXorIntoMulti proves the fused kernels keep parity with the
+// XorInto main loop: each sub-benchmark accounts bytes per source
+// accumulated, so MB/s is directly comparable across XorInto, XorInto2,
+// and XorInto3 (the fused kernels should be at least as fast — they
+// touch dst once instead of per source).
+func BenchmarkXorIntoMulti(b *testing.B) {
+	for _, size := range []int{4096, 65536} {
+		dst := make([]byte, size)
+		a := make([]byte, size)
+		c := make([]byte, size)
+		d := make([]byte, size)
+		b.Run(fmt.Sprintf("XorInto/size=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				XorInto(dst, a)
+			}
+		})
+		b.Run(fmt.Sprintf("XorInto2/size=%d", size), func(b *testing.B) {
+			b.SetBytes(2 * int64(size))
+			for i := 0; i < b.N; i++ {
+				XorInto2(dst, a, c)
+			}
+		})
+		b.Run(fmt.Sprintf("XorInto3/size=%d", size), func(b *testing.B) {
+			b.SetBytes(3 * int64(size))
+			for i := 0; i < b.N; i++ {
+				XorInto3(dst, a, c, d)
+			}
+		})
 	}
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check verify bench bench-obs clean
+.PHONY: all build test race vet fmt check verify chaos bench bench-obs clean
 
 all: build
 
@@ -31,6 +31,12 @@ check: vet fmt test race
 # four stages as check, named separately so CI and local habits can
 # diverge later without repurposing either target.
 verify: vet fmt test race
+
+# chaos is the extended fault-injection soak (~30s): thousands of seeded
+# fault schedules through encode/decode/repair. Every failure reproduces
+# from the seed printed in the test log.
+chaos:
+	CHAOS_SCHEDULES=3000 $(GO) test -count=1 -run TestChaosSoak -v ./internal/shard/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

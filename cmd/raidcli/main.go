@@ -4,12 +4,24 @@
 // Usage:
 //
 //	raidcli encode -k 6 [-p 7] [-elem 4096] [-out DIR] [-workers N] [-batch N] FILE
-//	raidcli decode [-out FILE] [-workers N] [-batch N] MANIFEST
+//	raidcli decode [-out FILE] [-heal] [-workers N] [-batch N] MANIFEST
 //	raidcli repair [-workers N] [-batch N] MANIFEST
+//	raidcli verify MANIFEST
 //	raidcli info MANIFEST
+//
+// Encode, decode, and repair all take -retries and -retry-backoff to
+// bound the transient-I/O retry loop. With RAIDCLI_CHAOS set in the
+// environment they additionally accept -fault-profile and -fault-seed,
+// which route every byte of I/O through the seeded fault injector — a
+// testing facility, refused without the environment opt-in.
+//
+// Exit codes: 0 on success (including decodes that recovered in degraded
+// mode, which warn on stderr), 1 on ordinary failure, 2 when the shard
+// set is unrecoverable, 64 on usage errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,23 +32,67 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/store/faultstore"
+)
+
+// Exit codes: sysexits-style 64 for usage, 2 for an unrecoverable shard
+// set (so scripts can tell "try another copy" from "operator error").
+const (
+	exitOK            = 0
+	exitFail          = 1
+	exitUnrecoverable = 2
+	exitUsage         = 64
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(args []string) int {
+	if len(args) < 1 {
 		usage()
+		return exitUsage
 	}
-	if err := run(os.Args[1], os.Args[2:]); err != nil {
-		if err == errUsage {
-			usage()
-		}
+	err := run(args[0], args[1:])
+	if errors.Is(err, errUsage) {
+		usage()
+		return exitUsage
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "raidcli:", err)
-		os.Exit(1)
+	}
+	return exitCode(err)
+}
+
+// exitCode maps a subcommand error to the CLI's exit-code contract.
+func exitCode(err error) int {
+	var unrec *shard.UnrecoverableError
+	var use *usageError
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.As(err, &unrec):
+		return exitUnrecoverable
+	case errors.As(err, &use):
+		return exitUsage
+	default:
+		return exitFail
 	}
 }
 
 // errUsage asks main to print the usage text.
 var errUsage = fmt.Errorf("unknown subcommand")
+
+// usageError marks bad invocations (flag errors, wrong arity, chaos
+// flags without the opt-in) so they exit 64 rather than 1.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
 
 // run dispatches one subcommand; split from main so tests can drive the
 // CLI in-process.
@@ -48,6 +104,8 @@ func run(cmd string, args []string) error {
 		return cmdDecode(args)
 	case "repair":
 		return cmdRepair(args)
+	case "verify":
+		return cmdVerify(args)
 	case "info":
 		return cmdInfo(args)
 	default:
@@ -58,24 +116,106 @@ func run(cmd string, args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   raidcli encode -k K [-p P] [-elem N] [-out DIR] [-workers N] [-batch N] FILE
-  raidcli decode [-out FILE] [-workers N] [-batch N] MANIFEST
+  raidcli decode [-out FILE] [-heal] [-workers N] [-batch N] MANIFEST
   raidcli repair [-workers N] [-batch N] MANIFEST
-  raidcli info MANIFEST`)
-	os.Exit(2)
+  raidcli verify MANIFEST
+  raidcli info MANIFEST
+
+robustness flags (encode/decode/repair):
+  -retries N            transient-I/O retries per operation (default 3)
+  -retry-backoff D      base backoff before the first retry (default 1ms)
+  -fault-profile NAME   inject faults from a named profile (needs RAIDCLI_CHAOS=1)
+  -fault-seed N         seed for the fault schedule (default 1)`)
+}
+
+// ioFlags are the streaming + robustness flags shared by encode, decode,
+// and repair.
+type ioFlags struct {
+	workers, batch int
+	stats          bool
+	retries        int
+	backoff        time.Duration
+	faultProfile   string
+	faultSeed      int64
+}
+
+func addIOFlags(fs *flag.FlagSet) *ioFlags {
+	f := &ioFlags{}
+	fs.IntVar(&f.workers, "workers", 1, "parallel coding workers (0 = all cores)")
+	fs.IntVar(&f.batch, "batch", 0, "stripes per streaming batch (0 = default)")
+	fs.BoolVar(&f.stats, "stats", false, "print operation statistics")
+	fs.IntVar(&f.retries, "retries", 3, "transient-I/O retries per operation (0 disables)")
+	fs.DurationVar(&f.backoff, "retry-backoff", time.Millisecond, "base backoff before the first retry")
+	fs.StringVar(&f.faultProfile, "fault-profile", "", "fault-injection profile (requires RAIDCLI_CHAOS=1)")
+	fs.Int64Var(&f.faultSeed, "fault-seed", 1, "seed for the fault-injection schedule")
+	return f
+}
+
+// chaosEnabled reports whether the environment opted into fault
+// injection.
+func chaosEnabled() bool { return os.Getenv("RAIDCLI_CHAOS") != "" }
+
+// options translates the parsed flags into shard.Options, wiring the
+// retry policy and — behind the RAIDCLI_CHAOS gate — the fault injector.
+func (f *ioFlags) options() (shard.Options, *obs.Registry, error) {
+	workers := f.workers
+	if workers == 0 {
+		workers = -1 // on the command line 0 means all cores
+	}
+	var reg *obs.Registry
+	if f.stats {
+		reg = obs.NewRegistry()
+	}
+	opt := shard.Options{
+		Workers:      workers,
+		BatchStripes: f.batch,
+		Registry:     reg,
+		Retry: store.RetryPolicy{
+			MaxAttempts: f.retries + 1,
+			BaseBackoff: f.backoff,
+		},
+	}
+	if f.faultProfile != "" {
+		if !chaosEnabled() {
+			return opt, reg, usagef(
+				"-fault-profile is a testing facility; set RAIDCLI_CHAOS=1 to enable it")
+		}
+		cfg, err := faultstore.Profile(f.faultProfile, f.faultSeed)
+		if err != nil {
+			return opt, reg, usagef("%v (profiles: %v)", err, faultstore.Profiles())
+		}
+		cfg.Registry = reg
+		opt.Store = faultstore.New(store.OS{}, cfg)
+	}
+	return opt, reg, nil
+}
+
+// parseFlags runs fs over args, converting flag errors into usage
+// errors, and enforces the positional arity.
+func parseFlags(fs *flag.FlagSet, args []string, positional int, what string) error {
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return usagef("%s: %v", fs.Name(), err)
+	}
+	if fs.NArg() != positional {
+		return usagef("%s needs exactly %s", fs.Name(), what)
+	}
+	return nil
 }
 
 func cmdEncode(args []string) error {
-	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	fs := flag.NewFlagSet("encode", flag.ContinueOnError)
 	k := fs.Int("k", 4, "number of data shards")
 	p := fs.Int("p", 0, "prime parameter (0 = smallest usable)")
 	elem := fs.Int("elem", 4096, "element size in bytes")
 	out := fs.String("out", ".", "output directory")
-	workers := fs.Int("workers", 1, "parallel encoding workers (0 = all cores)")
-	batch := fs.Int("batch", 0, "stripes per pipeline batch (0 = default)")
-	stats := fs.Bool("stats", false, "print operation statistics")
-	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("encode needs exactly one input file")
+	iof := addIOFlags(fs)
+	if err := parseFlags(fs, args, 1, "one input file"); err != nil {
+		return err
+	}
+	opt, reg, err := iof.options()
+	if err != nil {
+		return err
 	}
 	path := fs.Arg(0)
 	f, err := os.Open(path)
@@ -87,12 +227,7 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
-	var reg *obs.Registry
-	if *stats {
-		reg = obs.NewRegistry()
-	}
-	m, err := shard.EncodeOpts(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out,
-		streamOptions(*workers, *batch, reg))
+	m, err := shard.EncodeOpts(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, opt)
 	if err != nil {
 		return err
 	}
@@ -103,15 +238,18 @@ func cmdEncode(args []string) error {
 }
 
 func cmdDecode(args []string) error {
-	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	fs := flag.NewFlagSet("decode", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (default: recovered.<name>)")
-	workers := fs.Int("workers", 1, "parallel decoding workers (0 = all cores)")
-	batch := fs.Int("batch", 0, "stripes per streaming batch (0 = default)")
-	stats := fs.Bool("stats", false, "print operation statistics")
-	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("decode needs exactly one manifest")
+	heal := fs.Bool("heal", false, "scan every stripe for silent corruption while decoding")
+	iof := addIOFlags(fs)
+	if err := parseFlags(fs, args, 1, "one manifest"); err != nil {
+		return err
 	}
+	opt, reg, err := iof.options()
+	if err != nil {
+		return err
+	}
+	opt.Heal = *heal
 	manifest := fs.Arg(0)
 	m, err := shard.LoadManifest(manifest)
 	if err != nil {
@@ -125,24 +263,28 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	var reg *obs.Registry
-	if *stats {
-		reg = obs.NewRegistry()
+	rep, err := shard.DecodeReport(manifest, f, opt)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	status, err := shard.DecodeOpts(manifest, f, streamOptions(*workers, *batch, reg))
-	for _, st := range status {
-		mark := "ok"
-		switch {
-		case !st.Present:
-			mark = "MISSING (reconstructed)"
-		case !st.Valid:
-			mark = "CORRUPT (reconstructed)"
+	if rep != nil {
+		for _, st := range rep.Status {
+			mark := st.State.String()
+			if st.State != shard.StateOK {
+				mark += " (reconstructed)"
+			}
+			fmt.Printf("  shard %-14s %s\n", st.Name, mark)
 		}
-		fmt.Printf("  shard %-14s %s\n", st.Name, mark)
 	}
 	if err != nil {
+		// Never leave a partial recovery behind for someone to trust.
+		os.Remove(dest)
 		return err
+	}
+	if rep.Degraded {
+		fmt.Fprintf(os.Stderr,
+			"raidcli: warning: recovered in degraded mode (quarantined shards %v, %d stripes corrected, %d attempts)\n",
+			rep.Quarantined, rep.Corrections, rep.Attempts)
 	}
 	fmt.Printf("recovered %d bytes into %s\n", m.FileSize, dest)
 	printStats(os.Stdout, reg, m.K)
@@ -150,23 +292,20 @@ func cmdDecode(args []string) error {
 }
 
 func cmdRepair(args []string) error {
-	fs := flag.NewFlagSet("repair", flag.ExitOnError)
-	workers := fs.Int("workers", 1, "parallel decoding workers (0 = all cores)")
-	batch := fs.Int("batch", 0, "stripes per streaming batch (0 = default)")
-	stats := fs.Bool("stats", false, "print operation statistics")
-	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("repair needs exactly one manifest")
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	iof := addIOFlags(fs)
+	if err := parseFlags(fs, args, 1, "one manifest"); err != nil {
+		return err
 	}
-	var reg *obs.Registry
-	if *stats {
-		reg = obs.NewRegistry()
+	opt, reg, err := iof.options()
+	if err != nil {
+		return err
 	}
 	m, err := shard.LoadManifest(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	repaired, err := shard.RepairOpts(fs.Arg(0), streamOptions(*workers, *batch, reg))
+	repaired, err := shard.RepairOpts(fs.Arg(0), opt)
 	if err != nil {
 		return err
 	}
@@ -179,11 +318,31 @@ func cmdRepair(args []string) error {
 	return nil
 }
 
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	if err := parseFlags(fs, args, 1, "one manifest"); err != nil {
+		return err
+	}
+	err := shard.Verify(fs.Arg(0), shard.Options{})
+	var deg *shard.DegradedError
+	if errors.As(err, &deg) {
+		for _, st := range deg.Status {
+			fmt.Printf("  shard %-14s %s\n", st.Name, st.State)
+		}
+		fmt.Fprintf(os.Stderr, "raidcli: warning: %v\n", err)
+		return nil // still recoverable: exit 0 with the warning
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("all shards healthy")
+	return nil
+}
+
 func cmdInfo(args []string) error {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("info needs exactly one manifest")
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	if err := parseFlags(fs, args, 1, "one manifest"); err != nil {
+		return err
 	}
 	m, err := shard.LoadManifest(fs.Arg(0))
 	if err != nil {
@@ -196,16 +355,6 @@ func cmdInfo(args []string) error {
 		fmt.Printf("  %-16s crc32=%08x\n", m.ShardName(i), m.Checksums[i])
 	}
 	return nil
-}
-
-// streamOptions translates the CLI's -workers/-batch flags into shard
-// streaming options: on the command line 0 workers means all cores
-// (1, the default, codes in-line).
-func streamOptions(workers, batch int, reg *obs.Registry) shard.Options {
-	if workers == 0 {
-		workers = -1
-	}
-	return shard.Options{Workers: workers, BatchStripes: batch, Registry: reg}
 }
 
 // printStats renders the -stats summary: one line per span with element

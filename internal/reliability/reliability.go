@@ -34,6 +34,16 @@ type Params struct {
 	Redundancy int
 	// MissionYears is the simulated operating period.
 	MissionYears float64
+	// SilentPerDiskHour is the rate of silent-corruption events (bitrot
+	// that checksums catch only on read) per disk-hour. Zero disables
+	// silent-corruption modelling entirely.
+	SilentPerDiskHour float64
+	// CorrectionSuccess is the probability that the correction layer
+	// (the paper's single-column error correction plus quarantine and
+	// retry) heals a silent corruption before it matters. Feed it from
+	// observed shard.correct_column.* counters via
+	// CorrectionSuccessRatio; zero means no corruption is ever healed.
+	CorrectionSuccess float64
 }
 
 // Validate reports whether the parameters are usable.
@@ -49,6 +59,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("reliability: redundancy %d out of range", p.Redundancy)
 	case p.MissionYears <= 0:
 		return fmt.Errorf("reliability: mission time must be positive")
+	case p.SilentPerDiskHour < 0:
+		return fmt.Errorf("reliability: negative silent-corruption rate")
+	case p.CorrectionSuccess < 0 || p.CorrectionSuccess > 1:
+		return fmt.Errorf("reliability: correction success %v outside [0,1]", p.CorrectionSuccess)
 	}
 	return nil
 }
@@ -67,6 +81,28 @@ func (p Params) ureDuringRebuild() float64 {
 	return -math.Expm1(bitsRead * math.Log1p(-p.UREPerBit))
 }
 
+// SilentDuringRebuild returns the probability that an unhealed silent
+// corruption strikes one of the surviving disks during a critical
+// rebuild (one with zero redundancy left). Corruption events arrive at
+// SilentPerDiskHour on each of the Disks-1 survivors for RebuildHours;
+// each is healed with probability CorrectionSuccess, so only the
+// residue is fatal.
+func (p Params) SilentDuringRebuild() float64 {
+	exposure := p.SilentPerDiskHour * float64(p.Disks-1) * p.RebuildHours()
+	return (1 - p.CorrectionSuccess) * -math.Expm1(-exposure)
+}
+
+// CorrectionSuccessRatio converts observed correction counters (e.g.
+// shard.correct_column.total and shard.correct_column.failed from a
+// decode fleet) into the CorrectionSuccess parameter. With no
+// observations it returns 1: no correction has been seen to fail.
+func CorrectionSuccessRatio(corrected, failed uint64) float64 {
+	if corrected+failed == 0 {
+		return 1
+	}
+	return float64(corrected) / float64(corrected+failed)
+}
+
 // Result summarizes a simulation.
 type Result struct {
 	Params      Params
@@ -74,6 +110,9 @@ type Result struct {
 	Losses      int
 	LossByURE   int // losses where a URE ended an already-critical rebuild
 	LossByDisks int // losses from one failure too many
+	// LossBySilent counts losses where a silent corruption survived the
+	// correction layer during an already-critical rebuild.
+	LossBySilent int
 }
 
 // LossProbability is the estimated probability of data loss over the
@@ -103,6 +142,7 @@ func Simulate(p Params, trials int, seed int64) (Result, error) {
 	lambda := 1 / p.MTTFHours
 	rebuild := p.RebuildHours()
 	pURE := p.ureDuringRebuild()
+	pSilent := p.SilentDuringRebuild()
 
 	for trial := 0; trial < trials; trial++ {
 		t := 0.0
@@ -127,12 +167,22 @@ func Simulate(p Params, trials int, seed int64) (Result, error) {
 				continue
 			}
 			// A rebuild completes; if it ran with zero remaining
-			// redundancy, a URE during it is fatal.
+			// redundancy, a URE — or an unhealed silent corruption — during
+			// it is fatal. The silent draw happens only when the rate is
+			// armed, so disabling it reproduces the exact rng sequence of
+			// the original model.
 			t = tRepair
-			if failed == p.Redundancy && rng.Float64() < pURE {
-				res.Losses++
-				res.LossByURE++
-				break
+			if failed == p.Redundancy {
+				if rng.Float64() < pURE {
+					res.Losses++
+					res.LossByURE++
+					break
+				}
+				if pSilent > 0 && rng.Float64() < pSilent {
+					res.Losses++
+					res.LossBySilent++
+					break
+				}
 			}
 			failed--
 		}

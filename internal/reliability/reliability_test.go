@@ -31,6 +31,9 @@ func TestValidate(t *testing.T) {
 		func(p *Params) { p.Redundancy = 0 },
 		func(p *Params) { p.Redundancy = 12 },
 		func(p *Params) { p.MissionYears = 0 },
+		func(p *Params) { p.SilentPerDiskHour = -1 },
+		func(p *Params) { p.CorrectionSuccess = -0.1 },
+		func(p *Params) { p.CorrectionSuccess = 1.1 },
 	}
 	for i, mutate := range bad {
 		p := baseParams()
@@ -93,6 +96,112 @@ func TestMonotonicInURE(t *testing.T) {
 	}
 	if clean.LossByURE != 0 {
 		t.Errorf("URE losses with zero URE rate: %d", clean.LossByURE)
+	}
+}
+
+func TestSilentDuringRebuildHandComputed(t *testing.T) {
+	// 0.36 TB at 100 MB/s is 3600 s: exactly one rebuild hour. With 10
+	// surviving disks at 0.01 silent events per disk-hour the exposure is
+	// 0.1 events, and with the correction layer healing 75% of hits:
+	//
+	//	P = (1 - 0.75) × (1 - e^-0.1)
+	p := Params{
+		Disks:             11,
+		DiskTB:            0.36,
+		MTTFHours:         1e6,
+		RebuildMBps:       100,
+		Redundancy:        2,
+		MissionYears:      5,
+		SilentPerDiskHour: 0.01,
+		CorrectionSuccess: 0.75,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RebuildHours(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("rebuild hours = %v, want exactly 1", got)
+	}
+	want := 0.25 * (1 - math.Exp(-0.1))
+	if got := p.SilentDuringRebuild(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SilentDuringRebuild = %v, want %v", got, want)
+	}
+	// Disabled either way, the probability is zero.
+	p.CorrectionSuccess = 1
+	if got := p.SilentDuringRebuild(); got != 0 {
+		t.Errorf("perfect correction: SilentDuringRebuild = %v, want 0", got)
+	}
+	p.CorrectionSuccess = 0
+	p.SilentPerDiskHour = 0
+	if got := p.SilentDuringRebuild(); got != 0 {
+		t.Errorf("zero rate: SilentDuringRebuild = %v, want 0", got)
+	}
+}
+
+func TestCorrectionSuccessRatio(t *testing.T) {
+	if got := CorrectionSuccessRatio(3, 1); got != 0.75 {
+		t.Errorf("ratio(3,1) = %v, want 0.75", got)
+	}
+	if got := CorrectionSuccessRatio(0, 5); got != 0 {
+		t.Errorf("ratio(0,5) = %v, want 0", got)
+	}
+	if got := CorrectionSuccessRatio(0, 0); got != 1 {
+		t.Errorf("ratio(0,0) = %v, want 1 (no observed failures)", got)
+	}
+}
+
+func TestSilentDisabledPreservesSequence(t *testing.T) {
+	// Perfect correction makes the silent term vanish without touching
+	// the rng draw sequence: results must be identical to the rate being
+	// off entirely, field for field.
+	off := baseParams()
+	off.Redundancy = 1
+	healed := off
+	healed.SilentPerDiskHour = 0.05
+	healed.CorrectionSuccess = 1
+	a, err := Simulate(off, 3000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(healed, 3000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Losses != b.Losses || a.LossByURE != b.LossByURE ||
+		a.LossByDisks != b.LossByDisks || b.LossBySilent != 0 {
+		t.Errorf("perfect correction changed the simulation: %+v vs %+v", a, b)
+	}
+}
+
+func TestSilentCorruptionIncreasesLosses(t *testing.T) {
+	p := baseParams()
+	p.Redundancy = 1
+	p.UREPerBit = 0
+	clean, err := Simulate(p, 3000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SilentPerDiskHour = 0.002 // ~8% fatal per 44h critical rebuild
+	p.CorrectionSuccess = 0
+	dirty, err := Simulate(p, 3000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.LossBySilent == 0 {
+		t.Error("silent-corruption losses never observed at a high rate")
+	}
+	if dirty.Losses <= clean.Losses {
+		t.Errorf("silent corruption did not increase losses: %d vs %d",
+			dirty.Losses, clean.Losses)
+	}
+	// The correction layer claws most of it back.
+	p.CorrectionSuccess = 0.95
+	corrected, err := Simulate(p, 3000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected.LossBySilent*2 >= dirty.LossBySilent && dirty.LossBySilent > 20 {
+		t.Errorf("95%% correction left %d of %d silent losses",
+			corrected.LossBySilent, dirty.LossBySilent)
 	}
 }
 

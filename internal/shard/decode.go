@@ -2,22 +2,47 @@ package shard
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/liberation"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
+
+// Report summarizes one recovery run (decode or repair): the per-shard
+// health, which shards were quarantined, how many stripes the
+// single-column correction healed, and how many streaming attempts the
+// self-healing loop needed.
+type Report struct {
+	// Status is the final per-shard health (from the last attempt's
+	// probe, refined by mid-stream quarantines).
+	Status []ShardStatus
+	// Quarantined lists shards whose content was distrusted at any
+	// point: checksum-corrupt at probe time or failed mid-stream.
+	Quarantined []int
+	// Corrections is the number of stripes healed by the paper's
+	// single-column error correction.
+	Corrections uint64
+	// Attempts is the number of streaming passes (1 = no restart).
+	Attempts int
+	// Degraded reports whether recovery ran without full redundancy.
+	Degraded bool
+}
 
 // Decode reconstructs the original file from the shard set described by
 // the manifest at manifestPath (shards are looked up in the same
 // directory) and writes it to w. Missing or checksum-corrupt shards are
-// treated as erasures; up to two are tolerated. It returns the per-shard
-// status that recovery observed.
+// treated per the degradation ladder (quarantine → CorrectColumn →
+// erasure decode); up to two hard losses are tolerated, and purely
+// silent per-stripe single-column corruption is healed even beyond
+// that. It returns the per-shard status that recovery observed.
 func Decode(manifestPath string, w io.Writer) ([]ShardStatus, error) {
 	return DecodeOpts(manifestPath, w, Options{})
 }
@@ -29,86 +54,56 @@ func DecodeObserved(manifestPath string, w io.Writer, reg *obs.Registry) ([]Shar
 	return DecodeOpts(manifestPath, w, Options{Registry: reg})
 }
 
-// DecodeOpts is the streaming decoder behind Decode.
+// DecodeOpts is the streaming decoder behind Decode; see DecodeReport
+// for the full result.
+func DecodeOpts(manifestPath string, w io.Writer, opt Options) ([]ShardStatus, error) {
+	rep, err := DecodeReport(manifestPath, w, opt)
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Status, err
+}
+
+// DecodeReport is the self-healing streaming decoder.
 //
-// The erasure decision is made up front by a cheap probe (stat for
-// presence and size, then a streamed CRC-32 pass in O(1) memory); the
-// surviving shards are then read stripe-by-stripe through per-shard
-// readers, reconstructed batch-at-a-time (over a worker pool when
-// opt.Workers > 1), and written straight to w. Rolling CRCs re-verify
-// every surviving shard while it streams, so a shard that changes
-// between the probe and the read is detected rather than silently
-// decoded into the output. Peak memory is O(BatchStripes × stripe)
-// regardless of file size.
-func DecodeOpts(manifestPath string, w io.Writer, opt Options) (_ []ShardStatus, err error) {
-	m, err := LoadManifest(manifestPath)
+// The up-front probe (stat + streamed CRC-32, O(1) memory) classifies
+// every shard: clean, soft-quarantined (present but checksum-corrupt),
+// or hard-erased (missing, truncated, unreadable). Recovery then picks a
+// rung of the degradation ladder:
+//
+//   - no hard losses, but quarantined shards (or Options.Heal): stream
+//     all k+2 columns and run the paper's single-column error correction
+//     per stripe, falling back to erasure-decoding the quarantined
+//     columns for stripes whose corruption is not single-column;
+//   - 1–2 unusable shards: classic erasure decode of the survivors;
+//   - more: a typed *UnrecoverableError naming every failed shard.
+//
+// While stripes stream, transient read errors are retried with capped
+// exponential backoff (Options.Retry), and rolling CRCs re-verify every
+// column end to end — a shard that fails mid-stream is quarantined and
+// the decode restarts without it (when w is rewindable, i.e. an
+// *os.File). Peak memory is O(BatchStripes × stripe) regardless of file
+// size.
+func DecodeReport(manifestPath string, w io.Writer, opt Options) (_ *Report, err error) {
+	st := opt.store()
+	m, err := loadManifest(st, manifestPath)
 	if err != nil {
 		return nil, err
 	}
-	reg := opt.Registry
-	code, err := newCode(m.K, m.P, reg)
+	code, err := newCode(m.K, m.P, opt.Registry)
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan(reg, "shard.decode")
+	sp := obs.StartSpan(opt.Registry, "shard.decode")
 	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
 
-	dir := filepath.Dir(manifestPath)
-	files, status, erased, err := probeShards(m, dir, reg)
-	if err != nil {
-		return status, err
+	r := &recovery{
+		m: m, code: code, opt: opt, reg: opt.Registry, st: st,
+		dir: filepath.Dir(manifestPath),
 	}
-	defer func() {
-		for _, f := range files {
-			if f != nil {
-				f.Close()
-			}
-		}
-	}()
-
-	stripBytes, _ := m.shardShape()
-	readers := newShardReaders(files)
-	rolling := make([]uint32, m.K+2)
-
-	stripes := streamBatch(opt, m, code)
-	defer releaseStripes(stripes)
-
-	remaining := m.FileSize
-	for done := 0; done < m.Stripes; {
-		n := len(stripes)
-		if rem := m.Stripes - done; n > rem {
-			n = rem
-		}
-		if err = fillBatch(readers, stripes[:n], rolling); err != nil {
-			return status, err
-		}
-		if len(erased) > 0 {
-			if err = decodeBatch(code, stripes[:n], erased, opt); err != nil {
-				return status, err
-			}
-		}
-		for j := 0; j < n; j++ {
-			for t := 0; t < m.K && remaining > 0; t++ {
-				out := int64(stripBytes)
-				if out > remaining {
-					out = remaining
-				}
-				if _, err = w.Write(stripes[j].Strips[t][:out]); err != nil {
-					return status, err
-				}
-				remaining -= out
-			}
-		}
-		done += n
-	}
-	if remaining != 0 {
-		err = fmt.Errorf("shard: %d bytes unaccounted for", remaining)
-		return status, err
-	}
-	if err = verifyRolling(m, files, rolling); err != nil {
-		return status, err
-	}
-	return status, nil
+	sink := &decodeSink{w: w, m: m}
+	err = r.run(sink)
+	return r.rep, err
 }
 
 // Repair reconstructs missing/corrupt shards in place (writing repaired
@@ -125,71 +120,155 @@ func RepairObserved(manifestPath string, reg *obs.Registry) ([]int, error) {
 }
 
 // RepairOpts is the streaming repairer behind Repair. It shares the
-// probe and the bounded-memory stripe loop with DecodeOpts, but routes
-// the reconstructed strips into fresh shard files written next to the
-// originals: each repaired shard streams into a temporary file whose
-// rolling CRC must reproduce the manifest checksum before it is renamed
-// over the broken shard, so a failed repair never clobbers anything.
+// probe, the degradation ladder, and the bounded-memory stripe loop with
+// DecodeReport, but routes the reconstructed strips into fresh shard
+// files written next to the originals: each repaired shard streams into
+// a temporary file whose rolling CRC must reproduce the manifest
+// checksum before it is synced and renamed over the broken shard, so a
+// failed repair never clobbers anything.
 func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
-	m, err := LoadManifest(manifestPath)
+	st := opt.store()
+	m, err := loadManifest(st, manifestPath)
 	if err != nil {
 		return nil, err
 	}
-	reg := opt.Registry
-	code, err := newCode(m.K, m.P, reg)
+	code, err := newCode(m.K, m.P, opt.Registry)
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan(reg, "shard.repair")
+	sp := obs.StartSpan(opt.Registry, "shard.repair")
 	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
 
 	dir := filepath.Dir(manifestPath)
-	files, _, erased, err := probeShards(m, dir, reg)
-	if err != nil {
+	r := &recovery{m: m, code: code, opt: opt, reg: opt.Registry, st: st, dir: dir}
+	sink := &repairSink{m: m, st: st, dir: dir}
+	if err = r.run(sink); err != nil {
 		return nil, err
 	}
-	defer func() {
+	return sink.repaired, nil
+}
+
+// recovery drives the self-healing attempt loop shared by decode and
+// repair.
+type recovery struct {
+	m    *Manifest
+	code *liberation.Code
+	opt  Options
+	reg  *obs.Registry
+	st   store.Store
+	dir  string
+
+	rep     *Report
+	forced  map[int]error // mid-stream quarantines, by column
+	counted map[int]bool  // shard.quarantine.total dedup across attempts
+}
+
+// maxAttempts bounds the restart loop defensively; the quarantine budget
+// (at most two hard erasures) terminates it much earlier in practice.
+const maxAttempts = 1 + 4
+
+// run executes probe → ladder → stream attempts until one succeeds, the
+// quarantine budget is exhausted, or the error is not a mid-stream
+// quarantine.
+func (r *recovery) run(sink recoverSink) error {
+	r.rep = &Report{}
+	r.forced = make(map[int]error)
+	r.counted = make(map[int]bool)
+	defer sink.abort()
+	for {
+		r.rep.Attempts++
+		files, status, hard, soft := probeShards(r.m, r.dir, r.st, r.reg, r.forced)
+		r.rep.Status = status
+		r.noteQuarantines(status)
+		err := r.attempt(files, status, hard, soft, sink)
 		for _, f := range files {
 			if f != nil {
 				f.Close()
 			}
 		}
-	}()
-	if len(erased) == 0 {
-		return nil, nil
+		if err == nil {
+			if len(hard)+len(soft) > 0 {
+				r.rep.Degraded = true
+			}
+			return nil
+		}
+		var q *quarantineError
+		if !errors.As(err, &q) {
+			return err
+		}
+		if r.rep.Attempts >= maxAttempts {
+			return &UnrecoverableError{Status: r.rep.Status,
+				Reason: fmt.Sprintf("gave up after %d attempts: %v", r.rep.Attempts, q)}
+		}
+		if _, dup := r.forced[q.col]; dup {
+			// The same column failed after already being excluded —
+			// nothing left to heal with.
+			return &UnrecoverableError{Status: r.rep.Status,
+				Reason: fmt.Sprintf("shard %d failed repeatedly: %v", q.col, q.cause)}
+		}
+		r.forced[q.col] = q.cause
 	}
+}
 
-	// Repaired shards stream into temp files, verified before rename.
-	tmpFiles := make(map[int]*os.File, len(erased))
-	tmpWriters := make(map[int]*bufio.Writer, len(erased))
-	var tmpPaths []string
-	defer func() {
-		for _, f := range tmpFiles {
-			if f != nil {
-				f.Close()
-			}
+// noteQuarantines bills shard.quarantine.total once per shard across all
+// attempts and records the report's quarantine list.
+func (r *recovery) noteQuarantines(status []ShardStatus) {
+	for _, st := range status {
+		if st.State != StateCorrupt && st.State != StateQuarantined {
+			continue
 		}
-		if err != nil {
-			for _, p := range tmpPaths {
-				os.Remove(p)
-			}
+		if r.counted[st.Index] {
+			continue
 		}
-	}()
+		r.counted[st.Index] = true
+		r.rep.Quarantined = append(r.rep.Quarantined, st.Index)
+		r.reg.Count("shard.quarantine.total", 1)
+	}
+	sort.Ints(r.rep.Quarantined)
+}
+
+// attempt runs one rung of the degradation ladder over one streaming
+// pass.
+func (r *recovery) attempt(files []store.File, status []ShardStatus, hard, soft []int, sink recoverSink) error {
+	if len(hard) > 2 {
+		return &UnrecoverableError{Status: status,
+			Reason: fmt.Sprintf("%d shards beyond repair, can tolerate 2", len(hard))}
+	}
+	if len(hard) == 0 && (len(soft) > 0 || r.opt.Heal) {
+		// Correction-first — except that a sink that cannot rewind (a
+		// plain io.Writer) must not gamble on a rung that may need a
+		// quarantine restart when the plain erasure rung would do.
+		if r.opt.Heal || len(soft) > 2 || sink.canRestart() {
+			return r.correctionStream(files, soft, sink)
+		}
+	}
+	erased := make([]int, 0, len(hard)+len(soft))
+	erased = append(erased, hard...)
+	erased = append(erased, soft...)
+	sort.Ints(erased)
+	if len(erased) > 2 {
+		return &UnrecoverableError{Status: status,
+			Reason: fmt.Sprintf("%d shards unusable, can tolerate 2", len(erased))}
+	}
+	return r.erasureStream(files, erased, sink)
+}
+
+// erasureStream is the classic decode rung: the erased columns are
+// reconstructed from the survivors, batch by batch, with rolling CRCs
+// re-verifying every column (streamed and reconstructed) against the
+// manifest at the end.
+func (r *recovery) erasureStream(files []store.File, erased []int, sink recoverSink) error {
+	if err := sink.begin(erased); err != nil {
+		return err
+	}
+	m := r.m
+	skip := make(map[int]bool, len(erased))
 	for _, e := range erased {
-		path := filepath.Join(dir, m.ShardName(e)+".repair")
-		f, createErr := os.Create(path)
-		if createErr != nil {
-			err = createErr
-			return nil, err
-		}
-		tmpPaths = append(tmpPaths, path)
-		tmpFiles[e] = f
-		tmpWriters[e] = bufio.NewWriterSize(f, 256<<10)
+		skip[e] = true
 	}
-
-	readers := newShardReaders(files)
+	readers := newShardReaders(m, files, skip)
 	rolling := make([]uint32, m.K+2)
-	stripes := streamBatch(opt, m, code)
+	stripes := streamBatch(r.opt, m, r.code)
 	defer releaseStripes(stripes)
 
 	for done := 0; done < m.Stripes; {
@@ -197,47 +276,286 @@ func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
 		if rem := m.Stripes - done; n > rem {
 			n = rem
 		}
-		if err = fillBatch(readers, stripes[:n], rolling); err != nil {
-			return nil, err
+		if col, err := fillBatch(readers, stripes[:n], rolling); err != nil {
+			return &quarantineError{col: col, cause: err}
 		}
-		if err = decodeBatch(code, stripes[:n], erased, opt); err != nil {
-			return nil, err
-		}
-		for j := 0; j < n; j++ {
-			for _, e := range erased {
-				strip := stripes[j].Strips[e]
-				if _, err = tmpWriters[e].Write(strip); err != nil {
-					return nil, err
-				}
-				rolling[e] = crc32.Update(rolling[e], crc32.IEEETable, strip)
+		if len(erased) > 0 {
+			if err := decodeBatch(r.code, stripes[:n], erased, r.opt); err != nil {
+				return err
 			}
+			for j := 0; j < n; j++ {
+				for _, e := range erased {
+					rolling[e] = crc32.Update(rolling[e], crc32.IEEETable, stripes[j].Strips[e])
+				}
+			}
+		}
+		if err := sink.consume(stripes[:n]); err != nil {
+			return err
 		}
 		done += n
 	}
-	if err = verifyRolling(m, files, rolling); err != nil {
-		return nil, err
+	// Streamed columns first: a mismatch there means the shard changed
+	// (or lied) while streaming and is grounds for quarantine + restart.
+	for i, sum := range rolling {
+		if !skip[i] && sum != m.Checksums[i] {
+			return &quarantineError{col: i, cause: fmt.Errorf(
+				"shard %d (%s) changed while streaming: checksum %08x, manifest %08x",
+				i, m.ShardName(i), sum, m.Checksums[i])}
+		}
 	}
+	// Reconstructed columns second: with all inputs verified, a mismatch
+	// here cannot be pinned on any shard.
 	for _, e := range erased {
 		if rolling[e] != m.Checksums[e] {
-			err = fmt.Errorf("shard: repaired shard %d fails its checksum", e)
-			return nil, err
+			return &UnrecoverableError{Status: r.rep.Status, Reason: fmt.Sprintf(
+				"reconstructed shard %d fails its manifest checksum", e)}
 		}
 	}
-	for _, e := range erased {
-		if err = tmpWriters[e].Flush(); err != nil {
-			return nil, err
+	return sink.finish()
+}
+
+// correctionStream is the silent-corruption rung: all k+2 columns stream
+// (including soft-quarantined ones) and every stripe is checked — and
+// healed — with the paper's single-column error correction. Stripes
+// whose corruption is not confined to one column fall back to erasure-
+// decoding the quarantined columns; rolling CRCs of the corrected
+// columns must reproduce the manifest checksums at the end.
+func (r *recovery) correctionStream(files []store.File, soft []int, sink recoverSink) error {
+	if err := sink.begin(soft); err != nil {
+		return err
+	}
+	m := r.m
+	readers := newShardReaders(m, files, nil)
+	rolling := make([]uint32, m.K+2)
+	stripes := streamBatch(r.opt, m, r.code)
+	defer releaseStripes(stripes)
+
+	for done := 0; done < m.Stripes; {
+		n := len(stripes)
+		if rem := m.Stripes - done; n > rem {
+			n = rem
 		}
-		if err = tmpFiles[e].Close(); err != nil {
-			tmpFiles[e] = nil
-			return nil, err
+		if col, err := fillBatch(readers, stripes[:n], nil); err != nil {
+			return &quarantineError{col: col, cause: err}
 		}
-		tmpFiles[e] = nil
-		if err = os.Rename(filepath.Join(dir, m.ShardName(e)+".repair"),
-			filepath.Join(dir, m.ShardName(e))); err != nil {
-			return nil, err
+		for j := 0; j < n; j++ {
+			col, cerr := r.code.CorrectColumn(stripes[j], nil)
+			switch {
+			case cerr == nil && col != liberation.CleanColumn:
+				r.rep.Corrections++
+				r.reg.Count("shard.correct_column.total", 1)
+			case cerr != nil:
+				r.reg.Count("shard.correct_column.failed", 1)
+				switch {
+				case len(soft) >= 1 && len(soft) <= 2:
+					// Not single-column, but we know which columns are
+					// suspect: erasure-decode them for this stripe.
+					if derr := r.code.Decode(stripes[j], soft, nil); derr != nil {
+						return derr
+					}
+				case len(soft) == 0:
+					// Healing scan with no suspects: leave the stripe
+					// as read and let the end-of-stream rolling CRCs
+					// quarantine whichever column misbehaved.
+				default:
+					return &UnrecoverableError{Status: r.rep.Status, Reason: fmt.Sprintf(
+						"stripe %d: corruption spans multiple columns and %d shards are quarantined",
+						done+j, len(soft))}
+				}
+			}
+			for i := 0; i < m.K+2; i++ {
+				rolling[i] = crc32.Update(rolling[i], crc32.IEEETable, stripes[j].Strips[i])
+			}
+		}
+		if err := sink.consume(stripes[:n]); err != nil {
+			return err
+		}
+		done += n
+	}
+	// Post-correction columns must reproduce the manifest exactly; a
+	// mismatch means the column misbehaved in a way correction could not
+	// pin down — quarantine it and retry on the erasure rung.
+	for i, sum := range rolling {
+		if sum != m.Checksums[i] {
+			return &quarantineError{col: i, cause: fmt.Errorf(
+				"shard %d (%s) still corrupt after correction: checksum %08x, manifest %08x",
+				i, m.ShardName(i), sum, m.Checksums[i])}
 		}
 	}
-	return erased, nil
+	return sink.finish()
+}
+
+// recoverSink receives the recovered stripes of one attempt. begin is
+// called at the start of every attempt (a restart must rewind), consume
+// after each batch is decoded/corrected, finish on success, and abort
+// exactly once when the recovery ends (success or not).
+type recoverSink interface {
+	begin(targets []int) error
+	consume(stripes []*core.Stripe) error
+	finish() error
+	abort()
+	// canRestart reports whether a later begin can undo consumed output.
+	canRestart() bool
+}
+
+// decodeSink streams the data strips to the caller's writer, truncating
+// to the original file size. Restarts rewind the writer when it supports
+// Seek+Truncate (*os.File does); otherwise the restart is refused and
+// the decode fails with the quarantine cause.
+type decodeSink struct {
+	w         io.Writer
+	m         *Manifest
+	remaining int64
+	attempts  int
+}
+
+// rewindableWriter is what a decode destination must implement to
+// support mid-stream quarantine restarts.
+type rewindableWriter interface {
+	io.WriteSeeker
+	Truncate(int64) error
+}
+
+func (s *decodeSink) begin([]int) error {
+	s.attempts++
+	if s.attempts > 1 {
+		rw, ok := s.w.(rewindableWriter)
+		if !ok {
+			return fmt.Errorf("shard: mid-stream quarantine needs a rewindable output (got %T)", s.w)
+		}
+		if _, err := rw.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		if err := rw.Truncate(0); err != nil {
+			return err
+		}
+	}
+	s.remaining = s.m.FileSize
+	return nil
+}
+
+func (s *decodeSink) consume(stripes []*core.Stripe) error {
+	stripBytes, _ := s.m.shardShape()
+	for _, stripe := range stripes {
+		for t := 0; t < s.m.K && s.remaining > 0; t++ {
+			out := int64(stripBytes)
+			if out > s.remaining {
+				out = s.remaining
+			}
+			if _, err := s.w.Write(stripe.Strips[t][:out]); err != nil {
+				return err
+			}
+			s.remaining -= out
+		}
+	}
+	return nil
+}
+
+func (s *decodeSink) finish() error {
+	if s.remaining != 0 {
+		return fmt.Errorf("shard: %d bytes unaccounted for", s.remaining)
+	}
+	return nil
+}
+
+func (s *decodeSink) abort() {}
+
+func (s *decodeSink) canRestart() bool {
+	_, ok := s.w.(rewindableWriter)
+	return ok
+}
+
+// repairSink streams each target column into a temporary file; finish
+// verifies, syncs, and renames them over the broken shards, so a failed
+// repair never clobbers anything. Restarts recreate the temp files.
+type repairSink struct {
+	m   *Manifest
+	st  store.Store
+	dir string
+
+	targets  []int
+	files    map[int]store.File
+	writers  map[int]*bufio.Writer
+	rolling  map[int]uint32
+	repaired []int
+}
+
+func (s *repairSink) tmpPath(e int) string {
+	return filepath.Join(s.dir, s.m.ShardName(e)+".repair")
+}
+
+func (s *repairSink) begin(targets []int) error {
+	s.cleanup()
+	s.targets = append([]int(nil), targets...)
+	s.files = make(map[int]store.File, len(targets))
+	s.writers = make(map[int]*bufio.Writer, len(targets))
+	s.rolling = make(map[int]uint32, len(targets))
+	for _, e := range targets {
+		f, err := s.st.Create(s.tmpPath(e))
+		if err != nil {
+			return err
+		}
+		s.files[e] = f
+		s.writers[e] = bufio.NewWriterSize(&store.OffsetWriter{F: f}, 256<<10)
+	}
+	return nil
+}
+
+func (s *repairSink) consume(stripes []*core.Stripe) error {
+	for _, stripe := range stripes {
+		for _, e := range s.targets {
+			strip := stripe.Strips[e]
+			if _, err := s.writers[e].Write(strip); err != nil {
+				return err
+			}
+			s.rolling[e] = crc32.Update(s.rolling[e], crc32.IEEETable, strip)
+		}
+	}
+	return nil
+}
+
+func (s *repairSink) finish() error {
+	for _, e := range s.targets {
+		if s.rolling[e] != s.m.Checksums[e] {
+			return fmt.Errorf("shard: repaired shard %d fails its checksum", e)
+		}
+	}
+	for _, e := range s.targets {
+		if err := s.writers[e].Flush(); err != nil {
+			return err
+		}
+		if err := s.files[e].Sync(); err != nil {
+			return err
+		}
+		if err := s.files[e].Close(); err != nil {
+			s.files[e] = nil
+			return err
+		}
+		s.files[e] = nil
+		if err := s.st.Rename(s.tmpPath(e), filepath.Join(s.dir, s.m.ShardName(e))); err != nil {
+			return err
+		}
+	}
+	s.repaired = append([]int(nil), s.targets...)
+	s.files, s.writers = nil, nil
+	s.targets = nil
+	return nil
+}
+
+func (s *repairSink) abort() { s.cleanup() }
+
+func (s *repairSink) canRestart() bool { return true }
+
+// cleanup closes and removes any temp files of an unfinished attempt.
+func (s *repairSink) cleanup() {
+	for e, f := range s.files {
+		if f != nil {
+			f.Close()
+		}
+		s.st.Remove(s.tmpPath(e))
+	}
+	s.files, s.writers, s.rolling = nil, nil, nil
+	s.targets = nil
 }
 
 // streamBatch sizes the batch for one streaming call and takes its
@@ -267,34 +585,39 @@ func releaseStripes(stripes []*core.Stripe) {
 	}
 }
 
-// newShardReaders wraps the surviving shard files in buffered readers;
-// erased slots stay nil.
-func newShardReaders(files []*os.File) []*bufio.Reader {
+// newShardReaders wraps the streaming shard files in buffered readers;
+// skipped (erased) and absent slots stay nil.
+func newShardReaders(m *Manifest, files []store.File, skip map[int]bool) []*bufio.Reader {
+	_, shardSize := m.shardShape()
 	readers := make([]*bufio.Reader, len(files))
 	for i, f := range files {
-		if f != nil {
-			readers[i] = bufio.NewReaderSize(f, 128<<10)
+		if f != nil && !skip[i] {
+			readers[i] = bufio.NewReaderSize(store.SectionReader(f, shardSize), 128<<10)
 		}
 	}
 	return readers
 }
 
-// fillBatch reads the next strip of every surviving shard into each
-// stripe of the batch, updating the rolling CRCs. Erased strips are left
-// as-is: the decoder rewrites them from scratch.
-func fillBatch(readers []*bufio.Reader, stripes []*core.Stripe, rolling []uint32) error {
+// fillBatch reads the next strip of every streaming shard into each
+// stripe of the batch, updating the rolling CRCs when given. Skipped
+// strips are left as-is: the decoder rewrites them from scratch. On a
+// read failure (transient retries already exhausted below this layer) it
+// returns the failing column for quarantine.
+func fillBatch(readers []*bufio.Reader, stripes []*core.Stripe, rolling []uint32) (int, error) {
 	for _, s := range stripes {
 		for i, br := range readers {
 			if br == nil {
 				continue
 			}
 			if _, err := io.ReadFull(br, s.Strips[i]); err != nil {
-				return fmt.Errorf("shard: shard %d truncated mid-stream: %w", i, err)
+				return i, fmt.Errorf("shard: shard %d failed mid-stream: %w", i, err)
 			}
-			rolling[i] = crc32.Update(rolling[i], crc32.IEEETable, s.Strips[i])
+			if rolling != nil {
+				rolling[i] = crc32.Update(rolling[i], crc32.IEEETable, s.Strips[i])
+			}
 		}
 	}
-	return nil
+	return -1, nil
 }
 
 // decodeBatch reconstructs the erased strips of every stripe in the
@@ -307,23 +630,6 @@ func decodeBatch(code core.Code, stripes []*core.Stripe, erased []int, opt Optio
 	for _, s := range stripes {
 		if err := code.Decode(s, erased, nil); err != nil {
 			return err
-		}
-	}
-	return nil
-}
-
-// verifyRolling checks the rolling CRCs of every surviving shard against
-// the manifest: a mismatch means the shard changed between the up-front
-// probe and the streaming read, and whatever was reconstructed from it
-// cannot be trusted.
-func verifyRolling(m *Manifest, files []*os.File, rolling []uint32) error {
-	for i, f := range files {
-		if f == nil {
-			continue
-		}
-		if rolling[i] != m.Checksums[i] {
-			return fmt.Errorf("shard: shard %d (%s) changed while streaming: checksum %08x, manifest %08x",
-				i, m.ShardName(i), rolling[i], m.Checksums[i])
 		}
 	}
 	return nil

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 // Encode splits the contents of r (size bytes) into k+2 shards written to
@@ -103,10 +103,12 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 		Stripes:  stripes,
 	}
 
-	// Create the outputs up front; on any error, remove everything we
+	// Create the outputs up front — through the store, so creation is
+	// retried on transient faults; on any error, remove everything we
 	// created so a failed encode leaves no partial shard set behind.
+	st := opt.store()
 	var created []string
-	files := make([]*os.File, k+2)
+	files := make([]store.File, k+2)
 	writers := make([]*bufio.Writer, k+2)
 	defer func() {
 		if err == nil {
@@ -118,19 +120,19 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 			}
 		}
 		for _, path := range created {
-			os.Remove(path)
+			st.Remove(path)
 		}
 	}()
 	for i := range files {
 		path := filepath.Join(outDir, m.ShardName(i))
-		f, createErr := os.Create(path)
+		f, createErr := st.Create(path)
 		if createErr != nil {
 			err = createErr
 			return nil, err
 		}
 		created = append(created, path)
 		files[i] = f
-		writers[i] = bufio.NewWriterSize(f, 256<<10)
+		writers[i] = bufio.NewWriterSize(&store.OffsetWriter{F: f}, 256<<10)
 	}
 
 	// The batch ring: 3 batches so reading, encoding, and writing each
@@ -315,6 +317,9 @@ writeLoop:
 		if err = writers[i].Flush(); err != nil {
 			return nil, err
 		}
+		if err = files[i].Sync(); err != nil {
+			return nil, err
+		}
 		if err = files[i].Close(); err != nil {
 			files[i] = nil
 			return nil, err
@@ -325,7 +330,7 @@ writeLoop:
 
 	manifestPath := filepath.Join(outDir, ManifestName(m.FileName))
 	created = append(created, manifestPath)
-	if err = writeManifest(m, manifestPath); err != nil {
+	if err = writeManifest(st, m, manifestPath); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -12,20 +12,32 @@
 // memory is O(batch × stripe) regardless of file size; shard health is
 // decided up front by a cheap stat+checksum probe and re-verified
 // incrementally by rolling CRCs while the stripes stream through.
+//
+// Every byte of I/O goes through a store.Store (see Options.Store), so
+// the path is testable under injected faults, and it is self-healing:
+// transient I/O errors are retried with capped exponential backoff,
+// shards that fail mid-stream are quarantined and the decode restarts
+// without them, and silent single-column corruption is repaired in
+// stream with the paper's CorrectColumn — the degradation ladder is CRC
+// quarantine → CorrectColumn → erasure decode → typed failure (see
+// docs/ROBUSTNESS.md).
 package shard
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro/internal/liberation"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // newCode builds the liberation code (p = 0 selects the smallest usable
@@ -55,7 +67,8 @@ const FormatVersion = 1
 const DefaultBatchStripes = 32
 
 // Options tunes the streaming data path. The zero value is valid:
-// serial coding, default batch size, no metrics.
+// serial coding, default batch size, no metrics, the real filesystem
+// with the default retry policy.
 type Options struct {
 	// Workers sets the stripe-coding pool size: 0 or 1 encode/decode
 	// in-line on the pipeline's coding stage, >1 fans stripes of each
@@ -68,6 +81,22 @@ type Options struct {
 	// stage-wait histograms, and the queue-depth gauge, and is attached
 	// to the underlying code (liberation.* spans) and worker pool.
 	Registry *obs.Registry
+	// Store is the filesystem the shards live on (nil = the real one).
+	// Wrap it with faultstore.New to inject faults.
+	Store store.Store
+	// Retry bounds the retrying of transient store failures. The zero
+	// value selects store.DefaultRetry; set MaxAttempts to 1 to disable
+	// retries.
+	Retry store.RetryPolicy
+	// Context cancels in-flight I/O (including backoff sleeps between
+	// retries). Nil means context.Background().
+	Context context.Context
+	// Heal makes decode scan every stripe with the paper's single-column
+	// error correction even when the up-front probe found all shards
+	// clean, catching read-path bit-flips at the cost of one extra
+	// parity computation per stripe. (When the probe quarantines
+	// checksum-corrupt shards, the correction path engages regardless.)
+	Heal bool
 }
 
 func (o Options) batch() int {
@@ -86,6 +115,35 @@ func (o Options) workerCount() int {
 	default:
 		return o.Workers
 	}
+}
+
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+func (o Options) retryPolicy() store.RetryPolicy {
+	p := o.Retry
+	if p.MaxAttempts == 0 {
+		p = store.DefaultRetry
+	}
+	if p.Registry == nil {
+		p.Registry = o.Registry
+	}
+	return p
+}
+
+// store returns the effective store: the configured (or OS) backend
+// wrapped with the retry layer, so every open/read/write/rename/remove
+// in the data path retries transient faults under the policy.
+func (o Options) store() store.Store {
+	base := o.Store
+	if base == nil {
+		base = store.OS{}
+	}
+	return store.WithRetry(base, o.context(), o.retryPolicy())
 }
 
 // observeWait is a nil-safe latency-histogram observation for the
@@ -134,35 +192,42 @@ func (m *Manifest) ShardName(i int) string {
 // ManifestName returns the manifest file name for a given input name.
 func ManifestName(fileName string) string { return fileName + ".manifest.json" }
 
-// LoadManifest reads and validates a manifest file.
+// LoadManifest reads and validates a manifest file from the real
+// filesystem.
 func LoadManifest(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
+	return loadManifest(store.OS{}, path)
+}
+
+// loadManifest reads and validates a manifest through a store.
+func loadManifest(st store.Store, path string) (*Manifest, error) {
+	f, err := st.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(store.SectionReader(f, size), data); err != nil {
+		return nil, fmt.Errorf("shard: reading manifest: %w", err)
+	}
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("shard: bad manifest: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrManifest, err)
 	}
 	if m.Version != FormatVersion {
-		return nil, fmt.Errorf("shard: unsupported manifest version %d", m.Version)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrManifest, m.Version)
 	}
 	if m.Code != "liberation" {
-		return nil, fmt.Errorf("shard: unsupported code %q", m.Code)
+		return nil, fmt.Errorf("%w: unsupported code %q", ErrManifest, m.Code)
 	}
 	if len(m.Checksums) != m.K+2 {
-		return nil, fmt.Errorf("shard: manifest has %d checksums, want %d",
-			len(m.Checksums), m.K+2)
+		return nil, fmt.Errorf("%w: %d checksums, want %d",
+			ErrManifest, len(m.Checksums), m.K+2)
 	}
 	return &m, nil
-}
-
-// ShardStatus describes one shard's health during recovery.
-type ShardStatus struct {
-	Index   int
-	Name    string
-	Present bool
-	Valid   bool // checksum matched
 }
 
 // probeBufSize is the scratch-buffer size of the streaming checksum
@@ -170,59 +235,112 @@ type ShardStatus struct {
 // resident memory is O(1) regardless of shard size.
 const probeBufSize = 128 << 10
 
-// probeShards makes the up-front erasure decision for every shard of m:
-// a missing file, a wrong size (cheap stat), or a CRC-32 mismatch
-// (streamed in O(1) memory) marks the shard erased. Usable shards come
-// back as open files positioned at offset 0; the caller owns them. The
-// work is recorded as a shard.probe span.
-func probeShards(m *Manifest, dir string, reg *obs.Registry) (files []*os.File, status []ShardStatus, erased []int, err error) {
+// probeShards makes the up-front health decision for every shard of m.
+// Shards are classified into three tiers:
+//
+//   - clean (StateOK): present, right-sized, CRC matches — returned open;
+//   - soft-quarantined (StateCorrupt): present and readable but the CRC
+//     mismatches — returned open too, because the correction path can
+//     still stream them and repair single-column corruption in stream;
+//   - hard-erased (missing, truncated, unreadable, or force-quarantined
+//     from a previous attempt): cannot be streamed at all.
+//
+// The caller owns every non-nil file. The work is recorded as a
+// shard.probe span.
+func probeShards(m *Manifest, dir string, st store.Store, reg *obs.Registry,
+	forced map[int]error) (files []store.File, status []ShardStatus, hard, soft []int) {
 	sp := obs.StartSpan(reg, "shard.probe")
-	defer func() { sp.End(err) }()
+	defer sp.End(nil)
 	_, shardSize := m.shardShape()
 	buf := make([]byte, probeBufSize)
-	files = make([]*os.File, m.K+2)
+	files = make([]store.File, m.K+2)
 	status = make([]ShardStatus, m.K+2)
-	closeAll := func() {
-		for i, f := range files {
-			if f != nil {
-				f.Close()
-				files[i] = nil
-			}
-		}
-	}
 	for i := range status {
-		status[i] = ShardStatus{Index: i, Name: m.ShardName(i)}
-		f, openErr := os.Open(filepath.Join(dir, m.ShardName(i)))
+		status[i] = ShardStatus{Index: i, Name: m.ShardName(i), State: StateOK}
+		if cause, ok := forced[i]; ok {
+			status[i].Present = true
+			status[i].State = StateQuarantined
+			status[i].Err = cause
+			hard = append(hard, i)
+			continue
+		}
+		f, openErr := st.Open(filepath.Join(dir, m.ShardName(i)))
 		if openErr != nil {
-			erased = append(erased, i)
+			if errors.Is(openErr, fs.ErrNotExist) {
+				status[i].State = StateMissing
+			} else {
+				status[i].Present = true
+				status[i].State = StateIOError
+			}
+			status[i].Err = openErr
+			hard = append(hard, i)
 			continue
 		}
 		status[i].Present = true
-		st, statErr := f.Stat()
-		if statErr != nil || st.Size() != shardSize {
-			erased = append(erased, i)
+		size, sizeErr := f.Size()
+		if sizeErr != nil {
+			status[i].State = StateIOError
+			status[i].Err = sizeErr
+			hard = append(hard, i)
 			f.Close()
 			continue
 		}
-		sum, crcErr := streamCRC(f, buf)
-		if crcErr != nil || sum != m.Checksums[i] {
-			erased = append(erased, i)
+		if size != shardSize {
+			status[i].State = StateTruncated
+			hard = append(hard, i)
 			f.Close()
 			continue
 		}
-		if _, seekErr := f.Seek(0, io.SeekStart); seekErr != nil {
-			closeAll()
-			return nil, status, nil, seekErr
+		sum, crcErr := streamCRC(store.SectionReader(f, size), buf)
+		if crcErr != nil {
+			status[i].State = StateIOError
+			status[i].Err = crcErr
+			hard = append(hard, i)
+			f.Close()
+			continue
+		}
+		if sum != m.Checksums[i] {
+			status[i].State = StateCorrupt
+			soft = append(soft, i)
+			files[i] = f // kept open: the correction path streams it
+			continue
 		}
 		status[i].Valid = true
 		files[i] = f
 	}
-	if len(erased) > 2 {
-		closeAll()
-		return nil, status, erased,
-			fmt.Errorf("shard: %d shards unusable, can recover at most 2", len(erased))
+	return files, status, hard, soft
+}
+
+// Verify probes the shard set's health without decoding anything. It
+// returns nil when every shard is clean, a *DegradedError when at most
+// two shards are unusable (recovery would succeed), and an
+// *UnrecoverableError when the set is lost. Checksum-corrupt-but-present
+// shards beyond the two-erasure budget still count as recoverable: the
+// correction path can heal per-stripe single-column corruption.
+func Verify(manifestPath string, opt Options) error {
+	st := opt.store()
+	m, err := loadManifest(st, manifestPath)
+	if err != nil {
+		return err
 	}
-	return files, status, erased, nil
+	files, status, hard, soft := probeShards(m, filepath.Dir(manifestPath), st, opt.Registry, nil)
+	for _, f := range files {
+		if f != nil {
+			f.Close()
+		}
+	}
+	switch {
+	case len(hard) == 0 && len(soft) == 0:
+		return nil
+	case len(hard) > 2:
+		return &UnrecoverableError{Status: status,
+			Reason: fmt.Sprintf("%d shards beyond repair, can tolerate 2", len(hard))}
+	case len(hard) > 0 && len(hard)+len(soft) > 2:
+		return &UnrecoverableError{Status: status,
+			Reason: fmt.Sprintf("%d shards unusable, can tolerate 2", len(hard)+len(soft))}
+	default:
+		return &DegradedError{Status: status}
+	}
 }
 
 // streamCRC computes the CRC-32 (IEEE) of r's remaining contents using
@@ -252,15 +370,19 @@ func (m *Manifest) shardShape() (stripBytes int, shardSize int64) {
 // for the Liberation codes.
 func (m *Manifest) widthElems() int { return m.P }
 
-// writeManifest stores m as indented JSON at path.
-func writeManifest(m *Manifest, path string) error {
-	mf, err := os.Create(path)
+// writeManifest stores m as indented JSON at path through the store.
+func writeManifest(st store.Store, m *Manifest, path string) error {
+	mf, err := st.Create(path)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(mf)
+	enc := json.NewEncoder(&store.OffsetWriter{F: mf})
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(m); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Sync(); err != nil {
 		mf.Close()
 		return err
 	}

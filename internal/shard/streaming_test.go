@@ -11,6 +11,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+
+	"repro/internal/store"
+	"repro/internal/store/faultstore"
 )
 
 // TestStreamingGolden pins the streaming Decode/Repair against the
@@ -259,30 +262,40 @@ func TestEncodeShortReaderFails(t *testing.T) {
 }
 
 // TestDecodeDetectsMidStreamCorruption checks the rolling-CRC defense:
-// a shard rewritten between the probe and the streaming read must fail
-// the decode rather than silently feed stale bytes into reconstruction.
+// a shard whose content lies between the probe and the streaming read
+// (here: a read-path bit-flip injected after the probe's checksum pass)
+// must not silently feed stale bytes into the output — the self-healing
+// decode quarantines it and restarts without it.
 func TestDecodeDetectsMidStreamCorruption(t *testing.T) {
-	dir, _, m := encodeTestFile(t, 4*5*64*8, 4, 0, 64)
+	dir, content, m := encodeTestFile(t, 4*5*64*8, 4, 0, 64)
 
-	// Corrupt a survivor's rolling CRC by flipping a byte after the
-	// probe has checksummed it. We can't interleave with Decode from
-	// here, so simulate the race at the verify layer directly: a wrong
-	// rolling sum for an open survivor must be rejected.
-	files, _, _, err := probeShards(m, dir, nil)
+	// Shard d01 is smaller than one probe buffer, so the probe costs
+	// exactly one read; After:1 makes the single bit-flip land on the
+	// streaming read instead.
+	faulty := faultstore.New(store.OS{}, faultstore.Config{Seed: 7, Rules: []faultstore.Rule{
+		{Path: m.ShardName(1), Op: faultstore.OpRead, Kind: faultstore.BitFlip, Prob: 1, Count: 1, After: 1},
+	}})
+	out, err := os.Create(filepath.Join(t.TempDir(), "out"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		for _, f := range files {
-			if f != nil {
-				f.Close()
-			}
-		}
-	}()
-	rolling := make([]uint32, m.K+2)
-	copy(rolling, m.Checksums)
-	rolling[1] ^= 0xdeadbeef
-	if err := verifyRolling(m, files, rolling); err == nil {
-		t.Fatal("verifyRolling accepted a mismatched rolling checksum")
+	defer out.Close()
+	rep, err := DecodeReport(filepath.Join(dir, ManifestName(m.FileName)), out,
+		Options{Store: faulty})
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if rep.Attempts < 2 {
+		t.Errorf("attempts = %d, want a quarantine restart", rep.Attempts)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != 1 {
+		t.Errorf("quarantined = %v, want [1]", rep.Quarantined)
+	}
+	got, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("self-healed decode differs from the original")
 	}
 }

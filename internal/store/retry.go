@@ -1,0 +1,232 @@
+package store
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RetryPolicy bounds and paces the retrying of transient store failures:
+// capped exponential backoff with multiplicative jitter, cancellable
+// between attempts through a context. The zero value retries nothing
+// (one attempt); DefaultRetry is the data path's default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it up to MaxBackoff. Zero means 1ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry delay. Zero means 64 × BaseBackoff.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of random extension added to each delay
+	// (0.5 → delays are uniform in [d, 1.5d]). Negative disables jitter;
+	// zero means 0.5.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic (0 uses a fixed
+	// default seed — retries are reproducible unless the caller opts
+	// into variety).
+	Seed int64
+	// Sleep, when non-nil, replaces the real inter-attempt wait; tests
+	// inject a fake clock here. It must honor ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Registry, when non-nil, receives shard.retry.total /
+	// shard.retry.exhausted counters and the shard.retry.backoff
+	// latency histogram.
+	Registry *obs.Registry
+}
+
+// DefaultRetry is the policy the shard data path uses when none is
+// given: 4 attempts, 1ms → 64ms backoff.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseBackoff <= 0 {
+		return time.Millisecond
+	}
+	return p.BaseBackoff
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxBackoff <= 0 {
+		return 64 * p.base()
+	}
+	return p.MaxBackoff
+}
+
+func (p RetryPolicy) jitter() float64 {
+	switch {
+	case p.Jitter < 0:
+		return 0
+	case p.Jitter == 0:
+		return 0.5
+	default:
+		return p.Jitter
+	}
+}
+
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	return SleepContext(ctx, d)
+}
+
+// SleepContext waits for d or until ctx is cancelled, whichever comes
+// first, returning ctx.Err() on cancellation.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn until it succeeds, returns a non-transient error, exhausts
+// the attempt budget, or ctx is cancelled mid-backoff. The returned
+// error is fn's last error (or the context's).
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := p.attempts()
+	var rng *rand.Rand
+	backoff := p.base()
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= attempts {
+			if attempts > 1 {
+				p.Registry.Count("shard.retry.exhausted", 1)
+			}
+			return err
+		}
+		d := backoff
+		if j := p.jitter(); j > 0 {
+			if rng == nil {
+				seed := p.Seed
+				if seed == 0 {
+					seed = 0x5eed
+				}
+				rng = rand.New(rand.NewSource(seed))
+			}
+			d += time.Duration(j * rng.Float64() * float64(backoff))
+		}
+		p.Registry.Count("shard.retry.total", 1)
+		p.Registry.Observe("shard.retry.backoff", obs.LatencyBuckets, d.Seconds())
+		if serr := p.sleep(ctx, d); serr != nil {
+			return serr
+		}
+		if backoff < p.cap() {
+			backoff *= 2
+			if backoff > p.cap() {
+				backoff = p.cap()
+			}
+		}
+	}
+}
+
+// WithRetry wraps base so that every operation — including positional
+// reads and writes on the files it opens — retries transient failures
+// under the policy. Positional I/O makes the retries idempotent: a
+// retried WriteAt overwrites whatever a torn write left behind.
+func WithRetry(base Store, ctx context.Context, p RetryPolicy) Store {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &retryStore{base: base, ctx: ctx, p: p}
+}
+
+type retryStore struct {
+	base Store
+	ctx  context.Context
+	p    RetryPolicy
+}
+
+func (s *retryStore) Open(path string) (File, error) {
+	var f File
+	err := s.p.Do(s.ctx, func() (e error) {
+		f, e = s.base.Open(path)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{f: f, ctx: s.ctx, p: s.p}, nil
+}
+
+func (s *retryStore) Create(path string) (File, error) {
+	var f File
+	err := s.p.Do(s.ctx, func() (e error) {
+		f, e = s.base.Create(path)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{f: f, ctx: s.ctx, p: s.p}, nil
+}
+
+func (s *retryStore) Rename(oldPath, newPath string) error {
+	return s.p.Do(s.ctx, func() error { return s.base.Rename(oldPath, newPath) })
+}
+
+func (s *retryStore) Remove(path string) error {
+	return s.p.Do(s.ctx, func() error { return s.base.Remove(path) })
+}
+
+type retryFile struct {
+	f   File
+	ctx context.Context
+	p   RetryPolicy
+}
+
+func (f *retryFile) ReadAt(b []byte, off int64) (int, error) {
+	var n int
+	err := f.p.Do(f.ctx, func() (e error) {
+		n, e = f.f.ReadAt(b, off)
+		return e
+	})
+	return n, err
+}
+
+func (f *retryFile) WriteAt(b []byte, off int64) (int, error) {
+	var n int
+	err := f.p.Do(f.ctx, func() (e error) {
+		n, e = f.f.WriteAt(b, off)
+		return e
+	})
+	return n, err
+}
+
+func (f *retryFile) Size() (int64, error) {
+	var n int64
+	err := f.p.Do(f.ctx, func() (e error) {
+		n, e = f.f.Size()
+		return e
+	})
+	return n, err
+}
+
+func (f *retryFile) Sync() error {
+	return f.p.Do(f.ctx, func() error { return f.f.Sync() })
+}
+
+func (f *retryFile) Close() error { return f.f.Close() }

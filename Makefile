@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check verify chaos bench bench-obs clean
+.PHONY: all build test race vet fmt check verify chaos bench bench-obs bench-gate bench-baseline race-obs clean
 
 all: build
 
@@ -47,6 +47,22 @@ bench:
 # which does not run when the result is served from cache.
 bench-obs:
 	BENCH_OBS_JSON=artifacts/BENCH_obs.json $(GO) test -count=1 -run TestObservedWorkloadDeterministic .
+
+# Perf-regression gate: measure the core coding hot paths and fail on any
+# exact-XOR-count increase or a >15% calibrated throughput regression
+# against the checked-in baseline. BENCH_GATE_TOL overrides the tolerance.
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_core.json
+
+# Regenerate the bench-gate baseline (run on a quiet machine, then commit).
+bench-baseline:
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_core.json -write
+
+# Race-detector pass focused on the observability surfaces: concurrent
+# flight-recorder scrapes, event-log writes, and traced degraded decodes.
+race-obs:
+	$(GO) test -race -count=1 -run 'Trace|Flight|LogJSON|Concurrent|EventLog' \
+		./internal/obs ./internal/shard ./cmd/raidcli ./cmd/raidmon
 
 clean:
 	$(GO) clean ./...

@@ -9,11 +9,17 @@
 //	raidcli verify MANIFEST
 //	raidcli info MANIFEST
 //
-// Encode, decode, and repair all take -retries and -retry-backoff to
-// bound the transient-I/O retry loop. With RAIDCLI_CHAOS set in the
-// environment they additionally accept -fault-profile and -fault-seed,
-// which route every byte of I/O through the seeded fault injector — a
-// testing facility, refused without the environment opt-in.
+// Encode, decode, repair, and verify all take -retries and
+// -retry-backoff to bound the transient-I/O retry loop. With
+// RAIDCLI_CHAOS set in the environment they additionally accept
+// -fault-profile and -fault-seed, which route every byte of I/O through
+// the seeded fault injector — a testing facility, refused without the
+// environment opt-in.
+//
+// Every operation runs under a causal trace: -log-json streams the
+// event log (retries, quarantines, heals, injected faults) as JSON
+// lines on stderr, and -stats or -log-json print the trace ID; verify
+// always prints it.
 //
 // Exit codes: 0 on success (including decodes that recovered in degraded
 // mode, which warn on stderr), 1 on ordinary failure, 2 when the shard
@@ -21,10 +27,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -121,11 +129,15 @@ func usage() {
   raidcli verify MANIFEST
   raidcli info MANIFEST
 
-robustness flags (encode/decode/repair):
+robustness flags (encode/decode/repair/verify):
   -retries N            transient-I/O retries per operation (default 3)
   -retry-backoff D      base backoff before the first retry (default 1ms)
   -fault-profile NAME   inject faults from a named profile (needs RAIDCLI_CHAOS=1)
-  -fault-seed N         seed for the fault schedule (default 1)`)
+  -fault-seed N         seed for the fault schedule (default 1)
+
+observability flags (encode/decode/repair/verify):
+  -stats                print operation statistics and the trace ID
+  -log-json             stream the causal event log as JSON lines on stderr`)
 }
 
 // ioFlags are the streaming + robustness flags shared by encode, decode,
@@ -133,6 +145,7 @@ robustness flags (encode/decode/repair):
 type ioFlags struct {
 	workers, batch int
 	stats          bool
+	logJSON        bool
 	retries        int
 	backoff        time.Duration
 	faultProfile   string
@@ -144,6 +157,7 @@ func addIOFlags(fs *flag.FlagSet) *ioFlags {
 	fs.IntVar(&f.workers, "workers", 1, "parallel coding workers (0 = all cores)")
 	fs.IntVar(&f.batch, "batch", 0, "stripes per streaming batch (0 = default)")
 	fs.BoolVar(&f.stats, "stats", false, "print operation statistics")
+	fs.BoolVar(&f.logJSON, "log-json", false, "stream the operation's causal event log as JSON lines on stderr")
 	fs.IntVar(&f.retries, "retries", 3, "transient-I/O retries per operation (0 disables)")
 	fs.DurationVar(&f.backoff, "retry-backoff", time.Millisecond, "base backoff before the first retry")
 	fs.StringVar(&f.faultProfile, "fault-profile", "", "fault-injection profile (requires RAIDCLI_CHAOS=1)")
@@ -166,10 +180,15 @@ func (f *ioFlags) options() (shard.Options, *obs.Registry, error) {
 	if f.stats {
 		reg = obs.NewRegistry()
 	}
+	sinks := []obs.EventSink{obs.NewFlightRecorder(obs.DefaultFlightSize)}
+	if f.logJSON {
+		sinks = append(sinks, obs.NewEventLog(os.Stderr, slog.LevelInfo))
+	}
 	opt := shard.Options{
 		Workers:      workers,
 		BatchStripes: f.batch,
 		Registry:     reg,
+		Tracer:       obs.NewTracer(sinks...),
 		Retry: store.RetryPolicy{
 			MaxAttempts: f.retries + 1,
 			BaseBackoff: f.backoff,
@@ -188,6 +207,22 @@ func (f *ioFlags) options() (shard.Options, *obs.Registry, error) {
 		opt.Store = faultstore.New(store.OS{}, cfg)
 	}
 	return opt, reg, nil
+}
+
+// traced roots the operation's causal trace: the returned context goes
+// into shard.Options.Context so every retry, quarantine, and heal below
+// chains onto one trace, and done ends the root span and — under -stats
+// or -log-json — prints the trace ID so the operator can correlate the
+// run with its event log.
+func (f *ioFlags) traced(opt *shard.Options, reg *obs.Registry, name string) (done func(error)) {
+	ctx, root := obs.StartOp(context.Background(), opt.Tracer, reg, name)
+	opt.Context = ctx
+	return func(err error) {
+		root.End(err)
+		if f.stats || f.logJSON {
+			fmt.Printf("trace: %s\n", root.TraceID())
+		}
+	}
 }
 
 // parseFlags runs fs over args, converting flag errors into usage
@@ -227,7 +262,9 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
+	done := iof.traced(&opt, reg, "raidcli.encode")
 	m, err := shard.EncodeOpts(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, opt)
+	done(err)
 	if err != nil {
 		return err
 	}
@@ -263,10 +300,12 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
+	done := iof.traced(&opt, reg, "raidcli.decode")
 	rep, err := shard.DecodeReport(manifest, f, opt)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
+	done(err)
 	if rep != nil {
 		for _, st := range rep.Status {
 			mark := st.State.String()
@@ -305,7 +344,9 @@ func cmdRepair(args []string) error {
 	if err != nil {
 		return err
 	}
+	done := iof.traced(&opt, reg, "raidcli.repair")
 	repaired, err := shard.RepairOpts(fs.Arg(0), opt)
+	done(err)
 	if err != nil {
 		return err
 	}
@@ -320,10 +361,21 @@ func cmdRepair(args []string) error {
 
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	iof := addIOFlags(fs)
 	if err := parseFlags(fs, args, 1, "one manifest"); err != nil {
 		return err
 	}
-	err := shard.Verify(fs.Arg(0), shard.Options{})
+	opt, reg, err := iof.options()
+	if err != nil {
+		return err
+	}
+	ctx, root := obs.StartOp(context.Background(), opt.Tracer, reg, "raidcli.verify")
+	opt.Context = ctx
+	err = shard.Verify(fs.Arg(0), opt)
+	root.End(err)
+	// Verify always names its trace: a health check's ID is the handle
+	// an operator quotes when escalating.
+	fmt.Printf("trace: %s\n", root.TraceID())
 	var deg *shard.DegradedError
 	if errors.As(err, &deg) {
 		for _, st := range deg.Status {
@@ -336,6 +388,7 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	fmt.Println("all shards healthy")
+	printStats(os.Stdout, reg, 0)
 	return nil
 }
 

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var tracePattern = regexp.MustCompile(`(?m)^trace: ([0-9a-f]{16})$`)
+
+// captureBoth runs fn with both stdout and stderr redirected.
+func captureBoth(t *testing.T, fn func() error) (stdout, stderr string) {
+	t.Helper()
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	stdout = capture(t, fn)
+	w.Close()
+	os.Stderr = oldErr
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return stdout, string(buf[:n])
+}
+
+func traceFixture(t *testing.T) (dir, blob, manifest string) {
+	t.Helper()
+	dir = t.TempDir()
+	blob = filepath.Join(dir, "data.bin")
+	payload := make([]byte, 7000)
+	rand.New(rand.NewSource(9)).Read(payload)
+	if err := os.WriteFile(blob, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	capture(t, func() error {
+		return run("encode", []string{"-k", "4", "-elem", "64", "-out", dir, blob})
+	})
+	return dir, blob, filepath.Join(dir, "data.bin.manifest.json")
+}
+
+// TestTraceIDPrinted checks the trace-surfacing contract: -stats prints
+// the operation's trace ID for encode/decode/repair, and verify prints
+// it unconditionally.
+func TestTraceIDPrinted(t *testing.T) {
+	dir, blob, manifest := traceFixture(t)
+
+	out := capture(t, func() error {
+		return run("encode", []string{"-k", "4", "-elem", "64", "-out", dir, "-stats", blob})
+	})
+	if !tracePattern.MatchString(out) {
+		t.Errorf("encode -stats did not print a trace ID:\n%s", out)
+	}
+
+	out = capture(t, func() error {
+		return run("decode", []string{"-out", filepath.Join(dir, "rec.bin"), "-stats", manifest})
+	})
+	if !tracePattern.MatchString(out) {
+		t.Errorf("decode -stats did not print a trace ID:\n%s", out)
+	}
+
+	// verify: always, with no flags at all.
+	out = capture(t, func() error {
+		return run("verify", []string{manifest})
+	})
+	if !tracePattern.MatchString(out) {
+		t.Errorf("verify did not print a trace ID:\n%s", out)
+	}
+
+	// Without -stats or -log-json, decode stays quiet about the trace.
+	out = capture(t, func() error {
+		return run("decode", []string{"-out", filepath.Join(dir, "rec2.bin"), manifest})
+	})
+	if tracePattern.MatchString(out) {
+		t.Errorf("decode printed a trace ID without -stats/-log-json:\n%s", out)
+	}
+}
+
+// TestLogJSON runs a degraded decode under -log-json and checks the
+// stderr stream is JSON lines carrying the causal record — the probe's
+// findings, the quarantine, the heals — all correlated to the trace ID
+// printed on stdout.
+func TestLogJSON(t *testing.T) {
+	dir, _, manifest := traceFixture(t)
+
+	// Corrupt one shard so the decode is genuinely degraded.
+	shardPath := filepath.Join(dir, "data.bin.shard.d01")
+	b, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if err := os.WriteFile(shardPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr := captureBoth(t, func() error {
+		return run("decode", []string{"-out", filepath.Join(dir, "rec.bin"), "-log-json", manifest})
+	})
+	match := tracePattern.FindStringSubmatch(stdout)
+	if match == nil {
+		t.Fatalf("decode -log-json did not print a trace ID:\n%s", stdout)
+	}
+	trace := match[1]
+
+	names := make(map[string]int)
+	for _, line := range strings.Split(stderr, "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // the degraded-mode warning shares stderr
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if rec["trace"] != trace {
+			t.Errorf("log line %v in trace %v, want %v", rec["msg"], rec["trace"], trace)
+		}
+		names[rec["msg"].(string)]++
+	}
+	for _, want := range []string{"raidcli.decode", "shard.decode", "shard.probe",
+		"shard.unhealthy", "shard.quarantine"} {
+		if names[want] == 0 {
+			t.Errorf("event log missing %q lines (have %v)", want, names)
+		}
+	}
+}

@@ -5,6 +5,8 @@
 //	/metrics        Prometheus text (default) or ?format=json / ?format=text
 //	/healthz        liveness probe
 //	/debug/pprof/   Go runtime profiling
+//	/debug/flight   flight-recorder ring: the last N causal events
+//	                (?trace=<hex> filters one trace, ?n= caps the tail)
 //
 // The workload driver alternates write traffic with fault episodes —
 // disk failures, degraded reads, rebuilds, silent corruption, scrubs —
@@ -16,13 +18,15 @@
 //
 //	raidmon [-addr :8080] [-code liberation] [-k 8] [-p 0] [-elem 1024]
 //	        [-stripes 64] [-workload zipf-small] [-write-size 0]
-//	        [-duration 0] [-seed 1]
+//	        [-duration 0] [-seed 1] [-flight 256]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -46,6 +50,7 @@ type config struct {
 	workload  string
 	writeSize int
 	seed      int64
+	flight    int // flight-recorder ring size (0 = default)
 }
 
 // monitor owns the array, its registry, and the HTTP surface. The
@@ -53,14 +58,16 @@ type config struct {
 // concurrent mutation — while the HTTP handlers only read the registry,
 // which is.
 type monitor struct {
-	cfg  config
-	arr  *raidsim.Array
-	reg  *obs.Registry
-	mux  *http.ServeMux
-	rng  *rand.Rand
-	next func() int // workload offset generator
-	buf  []byte
-	step int
+	cfg    config
+	arr    *raidsim.Array
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
+	mux    *http.ServeMux
+	rng    *rand.Rand
+	next   func() int // workload offset generator
+	buf    []byte
+	step   int
 }
 
 func newMonitor(cfg config) (*monitor, error) {
@@ -75,11 +82,14 @@ func newMonitor(cfg config) (*monitor, error) {
 	reg := obs.NewRegistry()
 	arr.Instrument(reg)
 
+	flight := obs.NewFlightRecorder(cfg.flight)
 	m := &monitor{
-		cfg: cfg,
-		arr: arr,
-		reg: reg,
-		rng: rand.New(rand.NewSource(cfg.seed)),
+		cfg:    cfg,
+		arr:    arr,
+		reg:    reg,
+		tracer: obs.NewTracer(flight),
+		flight: flight,
+		rng:    rand.New(rand.NewSource(cfg.seed)),
 	}
 	size := cfg.writeSize
 	if size <= 0 {
@@ -121,6 +131,7 @@ func newMonitor(cfg config) (*monitor, error) {
 	}
 
 	m.mux = obs.NewMux(reg)
+	m.mux.Handle("/debug/flight", obs.FlightHandler(flight))
 	m.mux.HandleFunc("/", m.handleIndex)
 	return m, nil
 }
@@ -155,25 +166,60 @@ func (m *monitor) runStep() error {
 	m.step++
 	switch {
 	case m.step%50 == 0:
-		victim := m.rng.Intn(m.arr.NumDisks())
-		if err := m.arr.CorruptDisk(victim, m.rng.Intn(m.cfg.elem), 4, 0x5a); err != nil {
-			return err
-		}
-		if _, err := m.arr.Scrub(); err != nil {
+		if err := m.scrubEpisode(); err != nil {
 			return err
 		}
 	case m.step%20 == 0:
-		if err := m.arr.FailDisk(m.rng.Intn(m.arr.NumDisks())); err != nil {
-			return err
-		}
-		// A degraded read before the rebuild keeps that counter moving.
-		if err := m.arr.Read(0, rd); err != nil {
-			return err
-		}
-		if err := m.arr.Rebuild(); err != nil {
+		if err := m.rebuildEpisode(rd); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// scrubEpisode injects silent corruption and scrubs it out, under one
+// causal trace: the corruption and the scrub's repair count land in the
+// flight recorder as children of a raid.episode.scrub span.
+func (m *monitor) scrubEpisode() (err error) {
+	victim := m.rng.Intn(m.arr.NumDisks())
+	ctx, sp := obs.StartOp(context.Background(), m.tracer, m.reg, "raid.episode.scrub",
+		slog.Int("step", m.step), slog.Int("disk", victim))
+	defer func() { sp.End(err) }()
+	off := m.rng.Intn(m.cfg.elem)
+	if err = m.arr.CorruptDisk(victim, off, 4, 0x5a); err != nil {
+		return err
+	}
+	obs.Emit(ctx, slog.LevelWarn, "raid.corrupt",
+		slog.Int("disk", victim), slog.Int("offset", off), slog.Int("bytes", 4))
+	results, err := m.arr.Scrub()
+	if err != nil {
+		return err
+	}
+	obs.Emit(ctx, slog.LevelInfo, "raid.scrub", slog.Int("repaired", len(results)))
+	return nil
+}
+
+// rebuildEpisode fails a disk, serves a degraded read, and rebuilds —
+// one trace per episode, so /debug/flight?trace= replays the whole
+// failure story.
+func (m *monitor) rebuildEpisode(rd []byte) (err error) {
+	victim := m.rng.Intn(m.arr.NumDisks())
+	ctx, sp := obs.StartOp(context.Background(), m.tracer, m.reg, "raid.episode.rebuild",
+		slog.Int("step", m.step), slog.Int("disk", victim))
+	defer func() { sp.End(err) }()
+	if err = m.arr.FailDisk(victim); err != nil {
+		return err
+	}
+	obs.Emit(ctx, slog.LevelWarn, "raid.disk_failed", slog.Int("disk", victim))
+	// A degraded read before the rebuild keeps that counter moving.
+	if err = m.arr.Read(0, rd); err != nil {
+		return err
+	}
+	obs.Emit(ctx, slog.LevelInfo, "raid.degraded_read", slog.Int("bytes", len(rd)))
+	if err = m.arr.Rebuild(); err != nil {
+		return err
+	}
+	obs.Emit(ctx, slog.LevelInfo, "raid.rebuilt", slog.Int("disk", victim))
 	return nil
 }
 
@@ -212,12 +258,13 @@ func main() {
 		wsize    = flag.Int("write-size", 0, "bytes per write (0 = one element)")
 		duration = flag.Duration("duration", 0, "stop after this long (0 = run until killed)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		flight   = flag.Int("flight", obs.DefaultFlightSize, "flight-recorder ring size (events)")
 	)
 	flag.Parse()
 
 	m, err := newMonitor(config{
 		codeName: *codeName, k: *k, p: *p, elem: *elem, stripes: *stripes,
-		workload: *wl, writeSize: *wsize, seed: *seed,
+		workload: *wl, writeSize: *wsize, seed: *seed, flight: *flight,
 	})
 	if err != nil {
 		log.Fatal(err)

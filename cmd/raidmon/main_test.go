@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -110,6 +111,141 @@ func TestServesLiveMetrics(t *testing.T) {
 	}
 	if code, _, _ = get("/nonexistent"); code != http.StatusNotFound {
 		t.Errorf("/nonexistent status %d, want 404", code)
+	}
+}
+
+// TestFlightEndpoint drives the workload across both fault episodes and
+// checks /debug/flight serves their causal traces: episode spans with
+// step/disk attributes, filterable by trace ID.
+func TestFlightEndpoint(t *testing.T) {
+	m, err := newMonitor(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := m.runStep(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	srv := httptest.NewServer(m.mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Size   int `json:"size"`
+		Total  int `json:"total"`
+		Events []struct {
+			Trace string         `json:"trace"`
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("/debug/flight JSON: %v", err)
+	}
+	names := make(map[string]int)
+	traces := make(map[string]bool)
+	for _, ev := range dump.Events {
+		names[ev.Name]++
+		traces[ev.Trace] = true
+	}
+	for _, want := range []string{"raid.episode.rebuild", "raid.disk_failed",
+		"raid.rebuilt", "raid.episode.scrub", "raid.corrupt", "raid.scrub"} {
+		if names[want] == 0 {
+			t.Errorf("/debug/flight missing %q events (have %v)", want, names)
+		}
+	}
+	// 60 steps: three rebuild episodes (20, 40, 60) and one scrub (50) —
+	// four distinct traces.
+	if len(traces) != 4 {
+		t.Errorf("flight holds %d traces, want 4", len(traces))
+	}
+
+	// Trace filtering: one trace's events only.
+	var one string
+	for tr := range traces {
+		one = tr
+		break
+	}
+	resp2, err := http.Get(srv.URL + "/debug/flight?trace=" + one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) == 0 {
+		t.Fatalf("trace filter %q returned nothing", one)
+	}
+	for _, ev := range dump.Events {
+		if ev.Trace != one {
+			t.Errorf("filtered dump leaked trace %q (want %q)", ev.Trace, one)
+		}
+	}
+}
+
+// TestConcurrentScrapes runs the workload driver — and its episode
+// traces writing into the flight recorder — while /metrics and
+// /debug/flight are scraped concurrently. Under -race this pins the
+// tear-safety contract: scrapes during active writes must return
+// internally consistent JSON, never a torn record.
+func TestConcurrentScrapes(t *testing.T) {
+	m, err := newMonitor(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.mux)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/debug/flight", "/metrics?format=json", "/debug/flight?n=8"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d err %v", path, resp.StatusCode, err)
+					return
+				}
+				if strings.HasPrefix(path, "/debug/flight") {
+					var dump struct {
+						Events []json.RawMessage `json:"events"`
+					}
+					if err := json.Unmarshal(body, &dump); err != nil {
+						t.Errorf("%s: torn/invalid JSON: %v", path, err)
+						return
+					}
+				}
+			}
+		}(path)
+	}
+	for i := 0; i < 120; i++ { // several episodes under live scraping
+		if err := m.runStep(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if m.flight.Total() == 0 {
+		t.Error("no flight events recorded during the run")
 	}
 }
 

@@ -1,0 +1,254 @@
+package benchutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/liberation"
+	"repro/internal/xorblk"
+)
+
+// The perf-regression gate measures a small fixed set of core hot paths —
+// Liberation encode, two-erasure decode, and single-column correction —
+// and records both the paper's cost metric (exact XOR counts, which are
+// deterministic and machine-independent) and wall-clock timing (which is
+// not). CompareCore then holds a current report against a checked-in
+// baseline: any XOR-count increase fails outright, while timing is judged
+// with a tolerance after normalising by the machines' raw XOR-kernel
+// throughput, so a slower CI runner does not read as a code regression.
+
+// Shape of the gated workloads. Fixed forever: changing them invalidates
+// the checked-in baseline.
+const (
+	gateK    = 8
+	gateP    = 11 // NextOddPrime(gateK)
+	gateElem = 1024
+)
+
+// calibBlock is the buffer size of the calibration kernel: large enough to
+// stream, small enough to stay in L2 so the number reflects the CPU, not
+// the DRAM bus.
+const calibBlock = 64 * KB
+
+// CoreBench is one gated measurement: a named workload with its exact
+// element-operation counts and its machine-dependent timing.
+type CoreBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`  // heap bytes allocated per op
+	AllocsPerOp int64   `json:"allocs_per_op"` // heap allocations per op
+	XORs        uint64  `json:"xors"`          // exact element XORs per op
+	Units       uint64  `json:"units"`         // elements produced per op
+	XORsPerUnit float64 `json:"xors_per_unit"`
+}
+
+// CoreReport is the bench-gate artifact (artifacts/BENCH_core.json): the
+// gated benches plus the context needed to compare across machines.
+type CoreReport struct {
+	GoVersion     string      `json:"go_version"`
+	GOARCH        string      `json:"goarch"`
+	CalibMBPerSec float64     `json:"calib_mb_per_sec"`
+	Benches       []CoreBench `json:"benches"`
+}
+
+// gateRounds repeats each measurement, keeping the best round (minimum
+// ns/op). Scheduler and noisy-neighbour interference only ever slows a
+// round down, so the best round is the closest estimate of the machine's
+// true capability — the same idiom as Options.Rounds in the figure bench.
+const gateRounds = 3
+
+// measure times fn over gateRounds rounds of at least benchTime each and
+// returns best-round ns/op and MB/s of payload, plus per-op heap traffic.
+// fn is warmed once before timing starts.
+func measure(benchTime time.Duration, bytesPerOp int, fn func()) (nsPerOp, mbPerSec float64, bytesAlloc, allocs int64) {
+	fn() // warm-up: schedules built, caches touched
+	for r := 0; r < gateRounds; r++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < benchTime {
+			for i := 0; i < 16; i++ { // amortise the clock reads
+				fn()
+			}
+			iters += 16
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(elapsed.Nanoseconds()) / float64(iters)
+		if r == 0 || ns < nsPerOp {
+			nsPerOp = ns
+			mbPerSec = float64(bytesPerOp) * float64(iters) / elapsed.Seconds() / 1e6
+			bytesAlloc = int64(after.TotalAlloc-before.TotalAlloc) / int64(iters)
+			allocs = int64(after.Mallocs-before.Mallocs) / int64(iters)
+		}
+	}
+	return nsPerOp, mbPerSec, bytesAlloc, allocs
+}
+
+// calibrate measures the raw XOR-kernel throughput of this machine in
+// MB/s: the common scale factor behind every gated bench, used by
+// CompareCore to tell "this machine is slower" apart from "this code got
+// slower".
+func calibrate(benchTime time.Duration) float64 {
+	dst := make([]byte, calibBlock)
+	src := make([]byte, calibBlock)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	_, mbps, _, _ := measure(benchTime, calibBlock, func() { xorblk.XorInto(dst, src) })
+	return mbps
+}
+
+// RunCoreReport measures the gated workloads, spending at least benchTime
+// per point (0 = 250ms). The XOR and unit counts are exactly reproducible;
+// only the timing fields vary by machine.
+func RunCoreReport(benchTime time.Duration) (*CoreReport, error) {
+	if benchTime <= 0 {
+		benchTime = 250 * time.Millisecond
+	}
+	code, err := liberation.New(gateK, gateP)
+	if err != nil {
+		return nil, err
+	}
+	w := code.W()
+	s := core.NewStripe(gateK, w, gateElem)
+	for col := 0; col < gateK; col++ {
+		for i := range s.Strips[col] {
+			s.Strips[col][i] = byte(col + i) // deterministic fill
+		}
+	}
+
+	rep := &CoreReport{
+		GoVersion:     runtime.Version(),
+		GOARCH:        runtime.GOARCH,
+		CalibMBPerSec: calibrate(benchTime),
+	}
+	add := func(name string, xors, units uint64, bytesPerOp int, fn func()) {
+		ns, mbps, ba, al := measure(benchTime, bytesPerOp, fn)
+		rep.Benches = append(rep.Benches, CoreBench{
+			Name: name, NsPerOp: ns, MBPerSec: mbps,
+			BytesPerOp: ba, AllocsPerOp: al,
+			XORs: xors, Units: units, XORsPerUnit: float64(xors) / float64(units),
+		})
+	}
+
+	// Encode: count XORs once (deterministic), then time without counting.
+	var ops core.Ops
+	if err := code.Encode(s, &ops); err != nil {
+		return nil, err
+	}
+	add(fmt.Sprintf("liberation/encode/k=%d,p=%d,elem=%d", gateK, gateP, gateElem),
+		ops.XORs, uint64(2*w), s.DataSize(),
+		func() {
+			if err := code.Encode(s, nil); err != nil {
+				panic(err)
+			}
+		})
+
+	// Decode of the worst-case pair of data erasures.
+	erased := []int{0, 2}
+	ops.Reset()
+	if err := code.Decode(s, erased, &ops); err != nil {
+		return nil, err
+	}
+	add(fmt.Sprintf("liberation/decode2/k=%d,p=%d,elem=%d,erased=0+2", gateK, gateP, gateElem),
+		ops.XORs, uint64(2*w), s.DataSize(),
+		func() {
+			if err := code.Decode(s, erased, nil); err != nil {
+				panic(err)
+			}
+		})
+
+	// Single-column correction: the degraded-I/O heal rung. Each op
+	// re-corrupts one element and locates + repairs it.
+	corrupt := func() { s.Elem(1, 0)[0] ^= 0xff }
+	corrupt()
+	ops.Reset()
+	if col, err := code.CorrectColumn(s, &ops); err != nil {
+		return nil, err
+	} else if col != 1 {
+		return nil, fmt.Errorf("benchutil: CorrectColumn healed column %d, want 1", col)
+	}
+	add(fmt.Sprintf("liberation/correct/k=%d,p=%d,elem=%d", gateK, gateP, gateElem),
+		ops.XORs, uint64(w), w*gateElem,
+		func() {
+			corrupt()
+			if _, err := code.CorrectColumn(s, nil); err != nil {
+				panic(err)
+			}
+		})
+	return rep, nil
+}
+
+// CompareCore holds cur against base and returns the violations, one line
+// each (nil means the gate passes):
+//
+//   - any increase in a bench's exact XOR count fails — the paper's cost
+//     metric is deterministic, so even +1 XOR is a real algorithmic
+//     regression, never noise;
+//   - ns/op may not exceed the baseline by more than tol (e.g. 0.15 =
+//     +15%), after scaling by the two reports' calibration throughputs so
+//     machine speed cancels out (skipped if either calibration is 0);
+//   - every baseline bench must still be present.
+//
+// Allocation counts are recorded for inspection but not gated: they move
+// with the Go runtime version, not with this repository's algorithms.
+func CompareCore(base, cur *CoreReport, tol float64) []string {
+	var violations []string
+	curBy := make(map[string]CoreBench, len(cur.Benches))
+	for _, b := range cur.Benches {
+		curBy[b.Name] = b
+	}
+	scale := 1.0
+	if base.CalibMBPerSec > 0 && cur.CalibMBPerSec > 0 {
+		scale = cur.CalibMBPerSec / base.CalibMBPerSec
+	}
+	for _, b := range base.Benches {
+		c, ok := curBy[b.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		if c.XORs > b.XORs {
+			violations = append(violations,
+				fmt.Sprintf("%s: xors %d > baseline %d (+%d; XOR counts are exact — any increase is a regression)",
+					b.Name, c.XORs, b.XORs, c.XORs-b.XORs))
+		}
+		nsNorm := c.NsPerOp * scale
+		if limit := b.NsPerOp * (1 + tol); nsNorm > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: ns/op %.0f (normalised %.0f) > baseline %.0f +%.0f%% tolerance",
+					b.Name, c.NsPerOp, nsNorm, b.NsPerOp, tol*100))
+		}
+	}
+	return violations
+}
+
+// WriteCoreJSON writes the report as indented JSON to path.
+func WriteCoreJSON(path string, rep *CoreReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCoreJSON reads a report written by WriteCoreJSON.
+func LoadCoreJSON(path string) (*CoreReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep CoreReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchutil: %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestEventLogJSON checks the JSON-lines schema: one object per event,
+// trace-correlated, with the typed attributes flattened in.
+func TestEventLogJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewEventLog(&buf, slog.LevelInfo))
+	tr.Seed(0)
+
+	ctx, sp := StartOp(context.Background(), tr, nil, "shard.decode", slog.Int("k", 4))
+	Emit(ctx, slog.LevelWarn, "shard.quarantine", slog.Int("shard", 1), slog.String("state", "corrupt"))
+	sp.End(errors.New("degraded"))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var quarantine, decode map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &quarantine); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &decode); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if quarantine["msg"] != "shard.quarantine" || quarantine["level"] != "WARN" {
+		t.Errorf("quarantine line = %v", quarantine)
+	}
+	if quarantine["shard"] != float64(1) || quarantine["state"] != "corrupt" {
+		t.Errorf("quarantine attrs missing: %v", quarantine)
+	}
+	if quarantine["trace"] != sp.TraceID().String() || decode["trace"] != sp.TraceID().String() {
+		t.Errorf("events not trace-correlated: %v / %v", quarantine["trace"], decode["trace"])
+	}
+	if quarantine["parent"] != decode["span"] {
+		t.Errorf("quarantine parent %v, want decode span %v", quarantine["parent"], decode["span"])
+	}
+	if decode["err"] != "degraded" || decode["level"] != "ERROR" {
+		t.Errorf("decode line = %v", decode)
+	}
+	if decode["k"] != float64(4) {
+		t.Errorf("decode attrs missing k: %v", decode)
+	}
+	if _, ok := decode["dur"]; !ok {
+		t.Errorf("decode line has no duration: %v", decode)
+	}
+}
+
+// TestEventLogLevel drops events below the minimum level.
+func TestEventLogLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewEventLog(&buf, slog.LevelWarn)
+	log.RecordEvent(Event{Name: "info", Level: slog.LevelInfo})
+	log.RecordEvent(Event{Name: "warn", Level: slog.LevelWarn})
+	sc := bufio.NewScanner(&buf)
+	var names []string
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, m["msg"].(string))
+	}
+	if len(names) != 1 || names[0] != "warn" {
+		t.Errorf("logged %v, want [warn]", names)
+	}
+}
+
+// TestEventLogDeterministicAttrOrder: equal events render byte-equal
+// lines (sorted attribute keys), so logs diff cleanly.
+func TestEventLogDeterministicAttrOrder(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		log := NewEventLog(&buf, slog.LevelInfo)
+		ev := Event{
+			Name: "x", Level: slog.LevelInfo, Trace: "0000000000000001",
+			Attrs: map[string]any{"zeta": 1, "alpha": 2, "mid": 3},
+		}
+		log.RecordEvent(ev)
+		// Strip the timestamp, which legitimately differs.
+		line := buf.String()
+		return line[strings.Index(line, `"msg"`):]
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("same event rendered differently:\n%s\n%s", a, b)
+	}
+}

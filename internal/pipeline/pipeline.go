@@ -9,7 +9,9 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,15 @@ type Config struct {
 	// (pipeline.encode / pipeline.decode) plus queue-wait and
 	// stripes-per-worker histograms.
 	Registry *obs.Registry
+	// Context cancels the bulk operation between stripes: the producer
+	// stops feeding, each worker drains the queue without processing,
+	// and the call returns ctx.Err(). When the context carries an
+	// active trace, every worker's early exit is attributed with a
+	// pipeline.worker.cancel event carrying the typed cancellation
+	// cause, and the bulk span ends with that error — cancellation is
+	// causally visible, not just a counter bump. Nil means no
+	// cancellation.
+	Context context.Context
 }
 
 func (c Config) workers() int {
@@ -34,6 +45,13 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // Report describes how a bulk operation actually ran: how the stripes
@@ -101,9 +119,10 @@ func forEach(name string, stripes []*core.Stripe, cfg Config, ops *core.Ops,
 	if n < 1 {
 		n = 1
 	}
+	ctx := cfg.context()
 	feed := func(work chan<- *core.Stripe, stop *atomic.Bool) {
 		for _, s := range stripes {
-			if stop.Load() {
+			if stop.Load() || ctx.Err() != nil {
 				return
 			}
 			work <- s
@@ -121,11 +140,22 @@ func runPool(name string, n int, cfg Config, ops *core.Ops,
 	feed func(chan<- *core.Stripe, *atomic.Bool),
 	fn func(*core.Stripe, *core.Ops) error) (Report, error) {
 	start := time.Now()
+	ctx := cfg.context()
 	rep := Report{Workers: n, PerWorker: make([]int, n)}
 	sp := obs.StartSpan(cfg.Registry, name)
 	var total core.Ops
 	bytes := 0
+	// cancelled attributes one worker's early exit to the context's
+	// typed cancellation cause (context.Canceled, DeadlineExceeded).
+	cancelled := func(worker, done int) {
+		cfg.Registry.Count(name+".cancelled", 1)
+		obs.EmitErr(ctx, slog.LevelInfo, "pipeline.worker.cancel", ctx.Err(),
+			slog.Int("worker", worker), slog.Int("stripes_done", done))
+	}
 	finish := func(err error) (Report, error) {
+		if err == nil {
+			err = ctx.Err()
+		}
 		rep.Elapsed = time.Since(start)
 		ops.Add(total)
 		sp.Bytes(bytes).Units(rep.Stripes).Ops(total).End(err)
@@ -157,11 +187,23 @@ func runPool(name string, n int, cfg Config, ops *core.Ops,
 			s, ok := <-work
 			if !ok {
 				rep.ShutdownWait += time.Since(t0)
+				if ctx.Err() != nil {
+					cancelled(0, rep.Stripes)
+				}
 				break
 			}
 			rep.QueueWait += time.Since(t0)
+			if ctx.Err() != nil {
+				stop.Store(true)
+				cancelled(0, rep.Stripes)
+				for range work { // drain so feed never blocks
+				}
+				break
+			}
 			if err = fn(s, &total); err != nil {
 				stop.Store(true)
+				obs.EmitErr(ctx, slog.LevelError, "pipeline.worker.error", err,
+					slog.Int("worker", 0), slog.Int("stripes_done", rep.Stripes))
 				for range work { // drain so feed never blocks
 				}
 				break
@@ -186,19 +228,33 @@ func runPool(name string, n int, cfg Config, ops *core.Ops,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			noted := false // cancellation attributed at most once per worker
 			for {
 				t0 := time.Now()
 				s, ok := <-work
 				if !ok {
 					tailWaits[w] += time.Since(t0)
+					if ctx.Err() != nil && !noted {
+						cancelled(w, perWorker[w])
+					}
 					return
 				}
 				waits[w] += time.Since(t0)
+				if ctx.Err() != nil {
+					stop.Store(true)
+					if !noted {
+						noted = true
+						cancelled(w, perWorker[w])
+					}
+					continue // drain so the producer never blocks
+				}
 				if stop.Load() {
 					continue // drain so the producer never blocks
 				}
 				if err := fn(s, &partial[w]); err != nil {
 					stop.Store(true)
+					obs.EmitErr(ctx, slog.LevelError, "pipeline.worker.error", err,
+						slog.Int("worker", w), slog.Int("stripes_done", perWorker[w]))
 					select {
 					case errCh <- err:
 					default:

@@ -2,10 +2,12 @@ package shard
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"path/filepath"
 	"sort"
 
@@ -85,8 +87,18 @@ func DecodeOpts(manifestPath string, w io.Writer, opt Options) ([]ShardStatus, e
 // *os.File). Peak memory is O(BatchStripes × stripe) regardless of file
 // size.
 func DecodeReport(manifestPath string, w io.Writer, opt Options) (_ *Report, err error) {
-	st := opt.store()
-	m, err := loadManifest(st, manifestPath)
+	var m *Manifest
+	ctx, sp := obs.StartOp(opt.context(), opt.Tracer, opt.Registry, "shard.decode",
+		slog.String("manifest", filepath.Base(manifestPath)))
+	defer func() {
+		if m != nil {
+			sp.Bytes(int(m.FileSize))
+		}
+		sp.End(err)
+		stampFlight(ctx, err)
+	}()
+	st := opt.store(ctx)
+	m, err = loadManifest(st, manifestPath)
 	if err != nil {
 		return nil, err
 	}
@@ -94,11 +106,9 @@ func DecodeReport(manifestPath string, w io.Writer, opt Options) (_ *Report, err
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan(opt.Registry, "shard.decode")
-	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
 
 	r := &recovery{
-		m: m, code: code, opt: opt, reg: opt.Registry, st: st,
+		m: m, code: code, opt: opt, reg: opt.Registry, st: st, ctx: ctx,
 		dir: filepath.Dir(manifestPath),
 	}
 	sink := &decodeSink{w: w, m: m}
@@ -127,8 +137,18 @@ func RepairObserved(manifestPath string, reg *obs.Registry) ([]int, error) {
 // checksum before it is synced and renamed over the broken shard, so a
 // failed repair never clobbers anything.
 func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
-	st := opt.store()
-	m, err := loadManifest(st, manifestPath)
+	var m *Manifest
+	ctx, sp := obs.StartOp(opt.context(), opt.Tracer, opt.Registry, "shard.repair",
+		slog.String("manifest", filepath.Base(manifestPath)))
+	defer func() {
+		if m != nil {
+			sp.Bytes(int(m.FileSize))
+		}
+		sp.End(err)
+		stampFlight(ctx, err)
+	}()
+	st := opt.store(ctx)
+	m, err = loadManifest(st, manifestPath)
 	if err != nil {
 		return nil, err
 	}
@@ -136,11 +156,9 @@ func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan(opt.Registry, "shard.repair")
-	defer func() { sp.Bytes(int(m.FileSize)).End(err) }()
 
 	dir := filepath.Dir(manifestPath)
-	r := &recovery{m: m, code: code, opt: opt, reg: opt.Registry, st: st, dir: dir}
+	r := &recovery{m: m, code: code, opt: opt, reg: opt.Registry, st: st, ctx: ctx, dir: dir}
 	sink := &repairSink{m: m, st: st, dir: dir}
 	if err = r.run(sink); err != nil {
 		return nil, err
@@ -156,6 +174,7 @@ type recovery struct {
 	opt  Options
 	reg  *obs.Registry
 	st   store.Store
+	ctx  context.Context // carries the operation's trace
 	dir  string
 
 	rep     *Report
@@ -177,15 +196,18 @@ func (r *recovery) run(sink recoverSink) error {
 	defer sink.abort()
 	for {
 		r.rep.Attempts++
-		files, status, hard, soft := probeShards(r.m, r.dir, r.st, r.reg, r.forced)
+		actx, asp := obs.StartSpanCtx(r.ctx, r.reg, "shard.attempt",
+			slog.Int("attempt", r.rep.Attempts))
+		files, status, hard, soft := probeShards(actx, r.m, r.dir, r.st, r.reg, r.forced)
 		r.rep.Status = status
-		r.noteQuarantines(status)
-		err := r.attempt(files, status, hard, soft, sink)
+		r.noteQuarantines(actx, status)
+		err := r.attempt(actx, files, status, hard, soft, sink)
 		for _, f := range files {
 			if f != nil {
 				f.Close()
 			}
 		}
+		asp.End(err)
 		if err == nil {
 			if len(hard)+len(soft) > 0 {
 				r.rep.Degraded = true
@@ -207,12 +229,17 @@ func (r *recovery) run(sink recoverSink) error {
 				Reason: fmt.Sprintf("shard %d failed repeatedly: %v", q.col, q.cause)}
 		}
 		r.forced[q.col] = q.cause
+		obs.EmitErr(r.ctx, slog.LevelWarn, "shard.quarantine.midstream", q.cause,
+			slog.Int("shard", q.col), slog.String("name", r.m.ShardName(q.col)),
+			slog.Int("attempt", r.rep.Attempts))
 	}
 }
 
 // noteQuarantines bills shard.quarantine.total once per shard across all
-// attempts and records the report's quarantine list.
-func (r *recovery) noteQuarantines(status []ShardStatus) {
+// attempts, records the report's quarantine list, and emits a
+// shard.quarantine event per newly distrusted shard into the attempt's
+// trace.
+func (r *recovery) noteQuarantines(ctx context.Context, status []ShardStatus) {
 	for _, st := range status {
 		if st.State != StateCorrupt && st.State != StateQuarantined {
 			continue
@@ -223,13 +250,17 @@ func (r *recovery) noteQuarantines(status []ShardStatus) {
 		r.counted[st.Index] = true
 		r.rep.Quarantined = append(r.rep.Quarantined, st.Index)
 		r.reg.Count("shard.quarantine.total", 1)
+		obs.EmitErr(ctx, slog.LevelWarn, "shard.quarantine", st.Err,
+			slog.Int("shard", st.Index), slog.String("name", st.Name),
+			slog.String("state", st.State.String()))
 	}
 	sort.Ints(r.rep.Quarantined)
 }
 
 // attempt runs one rung of the degradation ladder over one streaming
-// pass.
-func (r *recovery) attempt(files []store.File, status []ShardStatus, hard, soft []int, sink recoverSink) error {
+// pass, recording which rung was chosen as a shard.rung event in the
+// attempt's trace.
+func (r *recovery) attempt(ctx context.Context, files []store.File, status []ShardStatus, hard, soft []int, sink recoverSink) error {
 	if len(hard) > 2 {
 		return &UnrecoverableError{Status: status,
 			Reason: fmt.Sprintf("%d shards beyond repair, can tolerate 2", len(hard))}
@@ -239,7 +270,9 @@ func (r *recovery) attempt(files []store.File, status []ShardStatus, hard, soft 
 		// plain io.Writer) must not gamble on a rung that may need a
 		// quarantine restart when the plain erasure rung would do.
 		if r.opt.Heal || len(soft) > 2 || sink.canRestart() {
-			return r.correctionStream(files, soft, sink)
+			obs.Emit(ctx, slog.LevelInfo, "shard.rung",
+				slog.String("rung", "correction"), slog.Int("suspects", len(soft)))
+			return r.correctionStream(ctx, files, soft, sink)
 		}
 	}
 	erased := make([]int, 0, len(hard)+len(soft))
@@ -250,14 +283,16 @@ func (r *recovery) attempt(files []store.File, status []ShardStatus, hard, soft 
 		return &UnrecoverableError{Status: status,
 			Reason: fmt.Sprintf("%d shards unusable, can tolerate 2", len(erased))}
 	}
-	return r.erasureStream(files, erased, sink)
+	obs.Emit(ctx, slog.LevelInfo, "shard.rung",
+		slog.String("rung", "erasure"), slog.Int("erased", len(erased)))
+	return r.erasureStream(ctx, files, erased, sink)
 }
 
 // erasureStream is the classic decode rung: the erased columns are
 // reconstructed from the survivors, batch by batch, with rolling CRCs
 // re-verifying every column (streamed and reconstructed) against the
 // manifest at the end.
-func (r *recovery) erasureStream(files []store.File, erased []int, sink recoverSink) error {
+func (r *recovery) erasureStream(ctx context.Context, files []store.File, erased []int, sink recoverSink) error {
 	if err := sink.begin(erased); err != nil {
 		return err
 	}
@@ -280,7 +315,7 @@ func (r *recovery) erasureStream(files []store.File, erased []int, sink recoverS
 			return &quarantineError{col: col, cause: err}
 		}
 		if len(erased) > 0 {
-			if err := decodeBatch(r.code, stripes[:n], erased, r.opt); err != nil {
+			if err := decodeBatch(ctx, r.code, stripes[:n], erased, r.opt); err != nil {
 				return err
 			}
 			for j := 0; j < n; j++ {
@@ -320,7 +355,7 @@ func (r *recovery) erasureStream(files []store.File, erased []int, sink recoverS
 // whose corruption is not confined to one column fall back to erasure-
 // decoding the quarantined columns; rolling CRCs of the corrected
 // columns must reproduce the manifest checksums at the end.
-func (r *recovery) correctionStream(files []store.File, soft []int, sink recoverSink) error {
+func (r *recovery) correctionStream(ctx context.Context, files []store.File, soft []int, sink recoverSink) error {
 	if err := sink.begin(soft); err != nil {
 		return err
 	}
@@ -344,8 +379,12 @@ func (r *recovery) correctionStream(files []store.File, soft []int, sink recover
 			case cerr == nil && col != liberation.CleanColumn:
 				r.rep.Corrections++
 				r.reg.Count("shard.correct_column.total", 1)
+				obs.Emit(ctx, slog.LevelInfo, "shard.correct_column",
+					slog.Int("stripe", done+j), slog.Int("col", col))
 			case cerr != nil:
 				r.reg.Count("shard.correct_column.failed", 1)
+				obs.EmitErr(ctx, slog.LevelWarn, "shard.correct_column.fallback", cerr,
+					slog.Int("stripe", done+j), slog.Int("suspects", len(soft)))
 				switch {
 				case len(soft) >= 1 && len(soft) <= 2:
 					// Not single-column, but we know which columns are
@@ -622,10 +661,10 @@ func fillBatch(readers []*bufio.Reader, stripes []*core.Stripe, rolling []uint32
 
 // decodeBatch reconstructs the erased strips of every stripe in the
 // batch, over a worker pool when the options ask for one.
-func decodeBatch(code core.Code, stripes []*core.Stripe, erased []int, opt Options) error {
+func decodeBatch(ctx context.Context, code core.Code, stripes []*core.Stripe, erased []int, opt Options) error {
 	if workers := opt.workerCount(); workers > 1 {
 		return pipeline.DecodeAll(code, stripes, erased, nil,
-			pipeline.Config{Workers: workers, Registry: opt.Registry})
+			pipeline.Config{Workers: workers, Registry: opt.Registry, Context: ctx})
 	}
 	for _, s := range stripes {
 		if err := code.Decode(s, erased, nil); err != nil {

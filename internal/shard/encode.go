@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"time"
@@ -84,8 +85,12 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan(reg, "shard.encode")
-	defer func() { sp.Bytes(int(size)).End(err) }()
+	ctx, sp := obs.StartOp(opt.context(), opt.Tracer, reg, "shard.encode",
+		slog.String("file", filepath.Base(fileName)), slog.Int("k", k))
+	defer func() {
+		sp.Bytes(int(size)).End(err)
+		stampFlight(ctx, err)
+	}()
 	w := code.W()
 	perStripe := int64(k) * int64(w) * int64(elemSize)
 	stripes := int((size + perStripe - 1) / perStripe)
@@ -106,7 +111,7 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 	// Create the outputs up front — through the store, so creation is
 	// retried on transient faults; on any error, remove everything we
 	// created so a failed encode leaves no partial shard set behind.
-	st := opt.store()
+	st := opt.store(ctx)
 	var created []string
 	files := make([]store.File, k+2)
 	writers := make([]*bufio.Writer, k+2)
@@ -251,7 +256,7 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 			var encErr error
 			if workers > 1 {
 				encErr = pipeline.EncodeAll(code, b.stripes[:b.n], nil,
-					pipeline.Config{Workers: workers, Registry: reg})
+					pipeline.Config{Workers: workers, Registry: reg, Context: ctx})
 			} else {
 				for _, s := range b.stripes[:b.n] {
 					if encErr = code.Encode(s, nil); encErr != nil {

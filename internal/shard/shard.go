@@ -31,6 +31,7 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"time"
@@ -81,6 +82,12 @@ type Options struct {
 	// stage-wait histograms, and the queue-depth gauge, and is attached
 	// to the underlying code (liberation.* spans) and worker pool.
 	Registry *obs.Registry
+	// Tracer, when non-nil, roots a causal trace per operation: every
+	// retry, quarantine, CorrectColumn heal, and erasure fallback is a
+	// child span/event with typed attributes, fanned out to the
+	// tracer's sinks (event log, flight recorder). When Context already
+	// carries an active trace the operation chains onto it instead.
+	Tracer *obs.Tracer
 	// Store is the filesystem the shards live on (nil = the real one).
 	// Wrap it with faultstore.New to inject faults.
 	Store store.Store
@@ -137,13 +144,19 @@ func (o Options) retryPolicy() store.RetryPolicy {
 
 // store returns the effective store: the configured (or OS) backend
 // wrapped with the retry layer, so every open/read/write/rename/remove
-// in the data path retries transient faults under the policy.
-func (o Options) store() store.Store {
+// in the data path retries transient faults under the policy. Backends
+// that can attribute their side effects causally (store.ContextBinder,
+// i.e. the faultstore) are bound to ctx first, so injected faults and
+// the retries they trigger land in the same trace.
+func (o Options) store(ctx context.Context) store.Store {
 	base := o.Store
 	if base == nil {
 		base = store.OS{}
 	}
-	return store.WithRetry(base, o.context(), o.retryPolicy())
+	if b, ok := base.(store.ContextBinder); ok {
+		base = b.Bind(ctx)
+	}
+	return store.WithRetry(base, ctx, o.retryPolicy())
 }
 
 // observeWait is a nil-safe latency-histogram observation for the
@@ -246,11 +259,20 @@ const probeBufSize = 128 << 10
 //     from a previous attempt): cannot be streamed at all.
 //
 // The caller owns every non-nil file. The work is recorded as a
-// shard.probe span.
-func probeShards(m *Manifest, dir string, st store.Store, reg *obs.Registry,
+// shard.probe span (a child of ctx's trace when one is active), and
+// every unhealthy shard as a shard.unhealthy event naming the shard and
+// its state.
+func probeShards(ctx context.Context, m *Manifest, dir string, st store.Store, reg *obs.Registry,
 	forced map[int]error) (files []store.File, status []ShardStatus, hard, soft []int) {
-	sp := obs.StartSpan(reg, "shard.probe")
-	defer sp.End(nil)
+	pctx, sp := obs.StartSpanCtx(ctx, reg, "shard.probe")
+	defer func() {
+		sp.Attr(slog.Int("hard", len(hard)), slog.Int("soft", len(soft))).End(nil)
+	}()
+	note := func(i int) {
+		obs.EmitErr(pctx, slog.LevelWarn, "shard.unhealthy", status[i].Err,
+			slog.Int("shard", i), slog.String("name", status[i].Name),
+			slog.String("state", status[i].State.String()))
+	}
 	_, shardSize := m.shardShape()
 	buf := make([]byte, probeBufSize)
 	files = make([]store.File, m.K+2)
@@ -262,6 +284,7 @@ func probeShards(m *Manifest, dir string, st store.Store, reg *obs.Registry,
 			status[i].State = StateQuarantined
 			status[i].Err = cause
 			hard = append(hard, i)
+			note(i)
 			continue
 		}
 		f, openErr := st.Open(filepath.Join(dir, m.ShardName(i)))
@@ -274,6 +297,7 @@ func probeShards(m *Manifest, dir string, st store.Store, reg *obs.Registry,
 			}
 			status[i].Err = openErr
 			hard = append(hard, i)
+			note(i)
 			continue
 		}
 		status[i].Present = true
@@ -282,12 +306,14 @@ func probeShards(m *Manifest, dir string, st store.Store, reg *obs.Registry,
 			status[i].State = StateIOError
 			status[i].Err = sizeErr
 			hard = append(hard, i)
+			note(i)
 			f.Close()
 			continue
 		}
 		if size != shardSize {
 			status[i].State = StateTruncated
 			hard = append(hard, i)
+			note(i)
 			f.Close()
 			continue
 		}
@@ -296,12 +322,14 @@ func probeShards(m *Manifest, dir string, st store.Store, reg *obs.Registry,
 			status[i].State = StateIOError
 			status[i].Err = crcErr
 			hard = append(hard, i)
+			note(i)
 			f.Close()
 			continue
 		}
 		if sum != m.Checksums[i] {
 			status[i].State = StateCorrupt
 			soft = append(soft, i)
+			note(i)
 			files[i] = f // kept open: the correction path streams it
 			continue
 		}
@@ -317,13 +345,19 @@ func probeShards(m *Manifest, dir string, st store.Store, reg *obs.Registry,
 // *UnrecoverableError when the set is lost. Checksum-corrupt-but-present
 // shards beyond the two-erasure budget still count as recoverable: the
 // correction path can heal per-stripe single-column corruption.
-func Verify(manifestPath string, opt Options) error {
-	st := opt.store()
+func Verify(manifestPath string, opt Options) (err error) {
+	ctx, sp := obs.StartOp(opt.context(), opt.Tracer, opt.Registry, "shard.verify",
+		slog.String("manifest", filepath.Base(manifestPath)))
+	defer func() {
+		sp.End(err)
+		stampFlight(ctx, err)
+	}()
+	st := opt.store(ctx)
 	m, err := loadManifest(st, manifestPath)
 	if err != nil {
 		return err
 	}
-	files, status, hard, soft := probeShards(m, filepath.Dir(manifestPath), st, opt.Registry, nil)
+	files, status, hard, soft := probeShards(ctx, m, filepath.Dir(manifestPath), st, opt.Registry, nil)
 	for _, f := range files {
 		if f != nil {
 			f.Close()

@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/store/faultstore"
+)
+
+// TestDecodeCausalTrace is the tracing acceptance scenario: a seeded
+// chaos schedule (transient read faults on shard 0) plus persistent
+// on-disk corruption of shard 1 drive a degraded decode, and the
+// resulting trace must be complete — every injected fault, retry,
+// quarantine, rung choice, and CorrectColumn heal is a child event of
+// one trace, with typed attributes, in both the flight recorder and the
+// JSON event log.
+func TestDecodeCausalTrace(t *testing.T) {
+	dir, content, m := encodeTestFile(t, 4*5*64*8, 4, 0, 64)
+
+	// Shard 1: persistent corruption in stripe 0 — CRC soft quarantine,
+	// healed in stream by CorrectColumn.
+	path := filepath.Join(dir, m.ShardName(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 0: two seeded transient read faults, absorbed by the retry
+	// layer — they must surface as faultstore.inject + store.retry
+	// events, not as failures.
+	faulty := faultstore.New(store.OS{}, faultstore.Config{Seed: 7, Rules: []faultstore.Rule{
+		{Path: m.ShardName(0), Op: faultstore.OpRead, Kind: faultstore.Transient, Prob: 1, Count: 2},
+	}})
+
+	flight := obs.NewFlightRecorder(1024)
+	var logBuf bytes.Buffer
+	tracer := obs.NewTracer(flight, obs.NewEventLog(&logBuf, slog.LevelInfo))
+	tracer.Seed(42)
+	reg := obs.NewRegistry()
+	opt := Options{
+		Store: faulty, Registry: reg, Tracer: tracer,
+		Retry: store.RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, Sleep: instantSleep},
+	}
+
+	out, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	rep, err := DecodeReport(filepath.Join(dir, ManifestName(m.FileName)), out, opt)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	got, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("degraded decode produced wrong bytes")
+	}
+	if rep.Corrections == 0 || len(rep.Quarantined) != 1 || rep.Quarantined[0] != 1 {
+		t.Fatalf("report = %+v, want shard 1 quarantined and healed", rep)
+	}
+
+	events := flight.Snapshot()
+	if len(events) == 0 {
+		t.Fatal("flight recorder is empty")
+	}
+
+	// One trace end to end.
+	trace := events[0].Trace
+	if trace == "" {
+		t.Fatal("events carry no trace ID")
+	}
+	for _, ev := range events {
+		if ev.Trace != trace {
+			t.Fatalf("event %q in trace %q, want %q", ev.Name, ev.Trace, trace)
+		}
+	}
+
+	// Causal closure: every event's parent is a span that completed in
+	// the same trace, except the root (shard.decode), whose parent is
+	// empty.
+	spans := make(map[string]string) // span id -> name
+	for _, ev := range events {
+		spans[ev.Span] = ev.Name
+	}
+	for _, ev := range events {
+		if ev.Parent == "" {
+			if ev.Name != "shard.decode" {
+				t.Errorf("parentless event %q, only the root span may be", ev.Name)
+			}
+			continue
+		}
+		if _, ok := spans[ev.Parent]; !ok {
+			t.Errorf("event %q has dangling parent span %q", ev.Name, ev.Parent)
+		}
+	}
+
+	// Every decision of the recovery must be in the trace, with its
+	// typed attributes.
+	count := make(map[string]int)
+	for _, ev := range events {
+		count[ev.Name]++
+		switch ev.Name {
+		case "faultstore.inject":
+			if ev.Attrs["seed"] != int64(7) || ev.Attrs["rule"] != int64(0) || ev.Attrs["op"] != "read" {
+				t.Errorf("faultstore.inject attrs = %v, want seed=7 rule=0 op=read", ev.Attrs)
+			}
+		case "store.retry":
+			if ev.Attrs["op"] != "read" || ev.Err == "" {
+				t.Errorf("store.retry attrs = %v err=%q, want op=read and a cause", ev.Attrs, ev.Err)
+			}
+		case "shard.unhealthy":
+			if ev.Attrs["shard"] != int64(1) || ev.Attrs["state"] != "corrupt" {
+				t.Errorf("shard.unhealthy attrs = %v, want shard=1 state=corrupt", ev.Attrs)
+			}
+		case "shard.quarantine":
+			if ev.Attrs["shard"] != int64(1) {
+				t.Errorf("shard.quarantine attrs = %v, want shard=1", ev.Attrs)
+			}
+		case "shard.rung":
+			if ev.Attrs["rung"] != "correction" {
+				t.Errorf("shard.rung attrs = %v, want rung=correction", ev.Attrs)
+			}
+		case "shard.correct_column":
+			if ev.Attrs["stripe"] != int64(0) || ev.Attrs["col"] != int64(1) {
+				t.Errorf("shard.correct_column attrs = %v, want stripe=0 col=1", ev.Attrs)
+			}
+		}
+	}
+	for _, name := range []string{
+		"shard.decode", "shard.attempt", "shard.probe", "shard.unhealthy",
+		"shard.quarantine", "shard.rung", "shard.correct_column",
+		"faultstore.inject", "store.retry",
+	} {
+		if count[name] == 0 {
+			t.Errorf("trace is missing %q events (have %v)", name, count)
+		}
+	}
+	if count["faultstore.inject"] != 2 || count["store.retry"] != 2 {
+		t.Errorf("injections/retries = %d/%d, want 2/2",
+			count["faultstore.inject"], count["store.retry"])
+	}
+
+	// The same events must be in the JSON event log, trace-correlated.
+	logged := make(map[string]int)
+	dec := json.NewDecoder(&logBuf)
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("event log is not JSON lines: %v", err)
+		}
+		if line["trace"] != trace {
+			t.Errorf("log line %v in trace %v, want %v", line["msg"], line["trace"], trace)
+		}
+		logged[line["msg"].(string)]++
+	}
+	for name, n := range count {
+		if logged[name] != n {
+			t.Errorf("event log has %d %q lines, flight recorder %d", logged[name], name, n)
+		}
+	}
+}
+
+// TestUnrecoverableCarriesFlight pins the post-mortem contract: when
+// recovery is impossible, the typed error carries the trace's flight-
+// recorder tail — what the operation saw and tried — without any live
+// process or external pipeline.
+func TestUnrecoverableCarriesFlight(t *testing.T) {
+	dir, _, m := encodeTestFile(t, 6000, 4, 0, 64)
+	for _, i := range []int{0, 2, 4} {
+		if err := os.Remove(filepath.Join(dir, m.ShardName(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tracer := obs.NewTracer(obs.NewFlightRecorder(256))
+	tracer.Seed(43)
+	var out bytes.Buffer
+	_, err := DecodeReport(filepath.Join(dir, ManifestName(m.FileName)), &out,
+		Options{Tracer: tracer})
+	var ue *UnrecoverableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *UnrecoverableError", err)
+	}
+	if len(ue.Flight) == 0 {
+		t.Fatal("UnrecoverableError carries no flight events")
+	}
+	var unhealthy int
+	var rootEnd bool
+	for _, ev := range ue.Flight {
+		if ev.Name == "shard.unhealthy" {
+			unhealthy++
+		}
+		if ev.Name == "shard.decode" && ev.Err != "" {
+			rootEnd = true
+		}
+	}
+	if unhealthy != 3 {
+		t.Errorf("flight records %d shard.unhealthy events, want 3", unhealthy)
+	}
+	if !rootEnd {
+		t.Error("flight tail lacks the root span's failing completion event")
+	}
+}
+
+// TestVerifyDegradedFlight checks that Verify roots its own trace and
+// stamps the flight tail onto the DegradedError it returns.
+func TestVerifyDegradedFlight(t *testing.T) {
+	dir, _, m := encodeTestFile(t, 6000, 4, 0, 64)
+	if err := os.Remove(filepath.Join(dir, m.ShardName(2))); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.NewFlightRecorder(256))
+	tracer.Seed(44)
+	err := Verify(filepath.Join(dir, ManifestName(m.FileName)), Options{Tracer: tracer})
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DegradedError", err)
+	}
+	if len(de.Flight) == 0 {
+		t.Fatal("DegradedError carries no flight events")
+	}
+	last := de.Flight[len(de.Flight)-1]
+	if last.Name != "shard.verify" || last.Err == "" {
+		t.Errorf("flight tail ends with %q (err %q), want the shard.verify completion", last.Name, last.Err)
+	}
+}

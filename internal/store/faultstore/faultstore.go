@@ -9,8 +9,10 @@
 package faultstore
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -133,10 +135,13 @@ type Config struct {
 	Registry *obs.Registry
 }
 
-// Store is a fault-injecting store.Store.
+// Store is a fault-injecting store.Store. Bind attaches a request
+// context so injections are recorded into its active trace; the unbound
+// store injects silently into the registry only.
 type Store struct {
 	base store.Store
 	reg  *obs.Registry
+	seed int64
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -155,6 +160,7 @@ func New(base store.Store, cfg Config) *Store {
 	s := &Store{
 		base: base,
 		reg:  cfg.Registry,
+		seed: cfg.Seed,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		gone: make(map[string]bool),
 	}
@@ -169,6 +175,7 @@ type injection struct {
 	kind  Kind
 	op    Op
 	path  string
+	rule  int // index of the rule that fired
 	delay time.Duration
 	flip  int64 // PRNG draw for BitFlip placement
 }
@@ -181,7 +188,7 @@ func (s *Store) decide(op Op, path string) (*injection, bool) {
 	if s.gone[path] {
 		return nil, true
 	}
-	for _, r := range s.rules {
+	for i, r := range s.rules {
 		if r.Op != OpAny && r.Op != op {
 			continue
 		}
@@ -199,7 +206,7 @@ func (s *Store) decide(op Op, path string) (*injection, bool) {
 			continue
 		}
 		r.fired++
-		inj := &injection{kind: r.Kind, op: op, path: path, delay: r.Delay, flip: s.rng.Int63()}
+		inj := &injection{kind: r.Kind, op: op, path: path, rule: i, delay: r.Delay, flip: s.rng.Int63()}
 		if r.Kind == Vanish {
 			s.gone[path] = true
 		}
@@ -208,8 +215,17 @@ func (s *Store) decide(op Op, path string) (*injection, bool) {
 	return nil, false
 }
 
-// record bills one injection to the registry.
-func (s *Store) record(inj *injection) {
+// record bills one injection to the registry and — when ctx carries an
+// active trace — emits a faultstore.inject event naming the seed, the
+// rule that fired, and the struck operation, so a chaos failure report
+// is reproducible from the flight-recorder dump alone.
+func (s *Store) record(ctx context.Context, inj *injection) {
+	obs.Emit(ctx, slog.LevelWarn, "faultstore.inject",
+		slog.String("kind", inj.kind.String()),
+		slog.String("op", inj.op.String()),
+		slog.String("path", inj.path),
+		slog.Int64("seed", s.seed),
+		slog.Int("rule", inj.rule))
 	if s.reg == nil {
 		return
 	}
@@ -227,11 +243,11 @@ func notExist(op Op, path string) error {
 // apply resolves an injection into an error for call-level faults
 // (Transient/Permanent/Vanish/Latency); BitFlip and TornWrite are
 // handled by the callers that own the buffers.
-func (s *Store) apply(inj *injection) error {
+func (s *Store) apply(ctx context.Context, inj *injection) error {
 	if inj == nil {
 		return nil
 	}
-	s.record(inj)
+	s.record(ctx, inj)
 	switch inj.kind {
 	case Transient:
 		return store.NewTransient(inj.op.String(), inj.path, store.ErrInjected)
@@ -247,12 +263,37 @@ func (s *Store) apply(inj *injection) error {
 	return nil
 }
 
+// Bind implements store.ContextBinder: the returned view injects the
+// same schedule (shared rule state and PRNG) but records every fired
+// fault into the trace carried by ctx.
+func (s *Store) Bind(ctx context.Context) store.Store {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &bound{s: s, ctx: ctx}
+}
+
+// bound is a context-carrying view of a Store.
+type bound struct {
+	s   *Store
+	ctx context.Context
+}
+
+func (b *bound) Open(path string) (store.File, error)   { return b.s.open(b.ctx, path) }
+func (b *bound) Create(path string) (store.File, error) { return b.s.create(b.ctx, path) }
+func (b *bound) Rename(oldPath, newPath string) error   { return b.s.rename(b.ctx, oldPath, newPath) }
+func (b *bound) Remove(path string) error               { return b.s.remove(b.ctx, path) }
+
 func (s *Store) Open(path string) (store.File, error) {
+	return s.open(context.Background(), path)
+}
+
+func (s *Store) open(ctx context.Context, path string) (store.File, error) {
 	inj, gone := s.decide(OpOpen, path)
 	if gone {
 		return nil, notExist(OpOpen, path)
 	}
-	if err := s.apply(inj); err != nil {
+	if err := s.apply(ctx, inj); err != nil {
 		return nil, err
 	}
 	if inj != nil && (inj.kind == BitFlip || inj.kind == TornWrite) {
@@ -263,16 +304,20 @@ func (s *Store) Open(path string) (store.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &file{s: s, f: f, path: path}, nil
+	return &file{s: s, ctx: ctx, f: f, path: path}, nil
 }
 
 func (s *Store) Create(path string) (store.File, error) {
+	return s.create(context.Background(), path)
+}
+
+func (s *Store) create(ctx context.Context, path string) (store.File, error) {
 	inj, _ := s.decide(OpCreate, path)
 	// Creating a vanished path brings it back.
 	s.mu.Lock()
 	delete(s.gone, path)
 	s.mu.Unlock()
-	if err := s.apply(inj); err != nil {
+	if err := s.apply(ctx, inj); err != nil {
 		return nil, err
 	}
 	if inj != nil && (inj.kind == BitFlip || inj.kind == TornWrite) {
@@ -282,15 +327,19 @@ func (s *Store) Create(path string) (store.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &file{s: s, f: f, path: path}, nil
+	return &file{s: s, ctx: ctx, f: f, path: path}, nil
 }
 
 func (s *Store) Rename(oldPath, newPath string) error {
+	return s.rename(context.Background(), oldPath, newPath)
+}
+
+func (s *Store) rename(ctx context.Context, oldPath, newPath string) error {
 	inj, gone := s.decide(OpRename, oldPath)
 	if gone {
 		return notExist(OpRename, oldPath)
 	}
-	if err := s.apply(inj); err != nil {
+	if err := s.apply(ctx, inj); err != nil {
 		return err
 	}
 	if err := s.base.Rename(oldPath, newPath); err != nil {
@@ -303,21 +352,27 @@ func (s *Store) Rename(oldPath, newPath string) error {
 }
 
 func (s *Store) Remove(path string) error {
+	return s.remove(context.Background(), path)
+}
+
+func (s *Store) remove(ctx context.Context, path string) error {
 	inj, gone := s.decide(OpRemove, path)
 	if gone {
 		// Removing a vanished file: make it true and succeed.
 		s.base.Remove(path)
 		return nil
 	}
-	if err := s.apply(inj); err != nil {
+	if err := s.apply(ctx, inj); err != nil {
 		return err
 	}
 	return s.base.Remove(path)
 }
 
-// file wraps one open file with the store's fault schedule.
+// file wraps one open file with the store's fault schedule, attributing
+// injections to the context it was opened under.
 type file struct {
 	s    *Store
+	ctx  context.Context
 	f    store.File
 	path string
 }
@@ -332,7 +387,7 @@ func (f *file) ReadAt(b []byte, off int64) (int, error) {
 		case BitFlip:
 			n, err := f.f.ReadAt(b, off)
 			if n > 0 {
-				f.s.record(inj)
+				f.s.record(f.ctx, inj)
 				bit := inj.flip % int64(n*8)
 				b[bit/8] ^= 1 << (bit % 8)
 			}
@@ -340,7 +395,7 @@ func (f *file) ReadAt(b []byte, off int64) (int, error) {
 		case TornWrite:
 			// Torn faults only apply to writes; pass reads through.
 		default:
-			if err := f.s.apply(inj); err != nil {
+			if err := f.s.apply(f.ctx, inj); err != nil {
 				return 0, err
 			}
 		}
@@ -356,7 +411,7 @@ func (f *file) WriteAt(b []byte, off int64) (int, error) {
 	if inj != nil {
 		switch inj.kind {
 		case TornWrite:
-			f.s.record(inj)
+			f.s.record(f.ctx, inj)
 			n := len(b) / 2
 			if n > 0 {
 				if wn, err := f.f.WriteAt(b[:n], off); err != nil {
@@ -367,7 +422,7 @@ func (f *file) WriteAt(b []byte, off int64) (int, error) {
 		case BitFlip:
 			// Bit-flips only apply to reads; pass writes through.
 		default:
-			if err := f.s.apply(inj); err != nil {
+			if err := f.s.apply(f.ctx, inj); err != nil {
 				return 0, err
 			}
 		}
@@ -382,7 +437,7 @@ func (f *file) Sync() error {
 	if gone {
 		return notExist(OpSync, f.path)
 	}
-	if err := f.s.apply(inj); err != nil {
+	if err := f.s.apply(f.ctx, inj); err != nil {
 		return err
 	}
 	return f.f.Sync()

@@ -2,6 +2,8 @@ package store
 
 import (
 	"context"
+	"errors"
+	"log/slog"
 	"math/rand"
 	"time"
 
@@ -99,7 +101,9 @@ func SleepContext(ctx context.Context, d time.Duration) error {
 
 // Do runs fn until it succeeds, returns a non-transient error, exhausts
 // the attempt budget, or ctx is cancelled mid-backoff. The returned
-// error is fn's last error (or the context's).
+// error is fn's last error (or the context's). When ctx carries an
+// active trace, every retry (and the exhaustion of the budget) is
+// emitted as a store.retry event attributed to the failing operation.
 func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -115,6 +119,8 @@ func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 		if attempt >= attempts {
 			if attempts > 1 {
 				p.Registry.Count("shard.retry.exhausted", 1)
+				obs.EmitErr(ctx, slog.LevelError, "store.retry.exhausted", err,
+					append(faultAttrs(err), slog.Int("attempts", attempts))...)
 			}
 			return err
 		}
@@ -131,6 +137,10 @@ func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 		}
 		p.Registry.Count("shard.retry.total", 1)
 		p.Registry.Observe("shard.retry.backoff", obs.LatencyBuckets, d.Seconds())
+		obs.EmitErr(ctx, slog.LevelWarn, "store.retry", err,
+			append(faultAttrs(err),
+				slog.Int("attempt", attempt),
+				slog.Duration("backoff", d))...)
 		if serr := p.sleep(ctx, d); serr != nil {
 			return serr
 		}
@@ -141,6 +151,16 @@ func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 			}
 		}
 	}
+}
+
+// faultAttrs extracts the op/path attribution a classified *Fault
+// carries, for retry events.
+func faultAttrs(err error) []obs.Attr {
+	var f *Fault
+	if !errors.As(err, &f) {
+		return nil
+	}
+	return []obs.Attr{slog.String("op", f.Op), slog.String("path", f.Path)}
 }
 
 // WithRetry wraps base so that every operation — including positional

@@ -15,6 +15,7 @@
 package store
 
 import (
+	"context"
 	"io"
 	"os"
 )
@@ -44,6 +45,16 @@ type Store interface {
 	Rename(oldPath, newPath string) error
 	// Remove deletes a file.
 	Remove(path string) error
+}
+
+// ContextBinder is implemented by stores whose side effects deserve
+// causal attribution (the faultstore): Bind returns a view of the store
+// whose events are recorded into the trace carried by ctx. The shard
+// data path binds its per-operation context before wrapping the store
+// with the retry layer, so injected faults and the retries they trigger
+// land in the same trace.
+type ContextBinder interface {
+	Bind(ctx context.Context) Store
 }
 
 // OS is the real-filesystem Store.

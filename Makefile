@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check verify chaos bench bench-obs bench-gate bench-baseline race-obs clean
+.PHONY: all build test race vet fmt check verify conformance chaos bench bench-obs bench-gate bench-baseline race-obs clean
 
 all: build
 
@@ -28,9 +28,18 @@ fmt:
 check: vet fmt test race
 
 # verify is the CI gate (see .github/workflows/verify.yml): the same
-# four stages as check, named separately so CI and local habits can
-# diverge later without repurposing either target.
-verify: vet fmt test race
+# stages as check plus the registry conformance matrix, named separately
+# so CI and local habits can diverge later without repurposing either.
+verify: vet fmt test race conformance
+
+# conformance runs the registry-driven matrices explicitly and verbosely:
+# the codetest battery and the full shard round-trip for every registered
+# code at every advertised (k, p) shape. Redundant with `test` except for
+# -count=1 — CI wants these exercised even when cached — and for the
+# legible per-code subtest listing when something breaks.
+conformance:
+	$(GO) test -count=1 -run 'TestConformanceMatrix|TestCodeMatrixRoundTrip' \
+		./internal/codes ./internal/shard
 
 # chaos is the extended fault-injection soak (~30s): thousands of seeded
 # fault schedules through encode/decode/repair. Every failure reproduces

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	arraysim [-code liberation|evenodd|rdp|rs] [-k 8] [-p 0] [-elem 4096]
+//	arraysim [-code liberation|evenodd|rdp|rs|crs|liberation-original] [-k 8] [-p 0] [-elem 4096]
 //	         [-stripes 64] [-seed 1]
 package main
 
@@ -15,19 +15,17 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 
+	"repro/internal/codes"
 	"repro/internal/core"
-	"repro/internal/evenodd"
-	"repro/internal/liberation"
 	"repro/internal/raidsim"
-	"repro/internal/rdp"
-	"repro/internal/rs"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		codeName = flag.String("code", "liberation", "erasure code: liberation, evenodd, rdp, rs")
+		codeName = flag.String("code", codes.Default, "erasure code: "+strings.Join(codes.Names(), ", "))
 		k        = flag.Int("k", 8, "data disks")
 		p        = flag.Int("p", 0, "prime parameter (0 = smallest usable; ignored for rs)")
 		elem     = flag.Int("elem", 4096, "element size in bytes")
@@ -39,7 +37,7 @@ func main() {
 	)
 	flag.Parse()
 
-	code, err := buildCode(*codeName, *k, *p)
+	code, err := codes.New(*codeName, *k, *p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +94,8 @@ func main() {
 	must(a.Read(0, got))
 	verify(got, data, "post-rebuild read")
 
-	// 5. Silent corruption + scrub (localized repair needs liberation).
+	// 5. Silent corruption + scrub (localized repair needs the code's
+	// single-column error correction capability).
 	victim := rng.Intn(a.NumDisks())
 	must(a.CorruptDisk(victim, rng.Intn(*stripes*code.W()**elem-16), 16, 0x5a))
 	fmt.Printf("silently corrupted 16 bytes on disk %d\n", victim)
@@ -110,7 +109,7 @@ func main() {
 		}
 	}
 	must(a.Read(0, got))
-	if code.Name()[:3] == "lib" {
+	if _, localizable := code.(core.ColumnCorrector); localizable {
 		verify(got, data, "post-scrub read")
 	}
 
@@ -135,29 +134,6 @@ func main() {
 
 	fmt.Printf("\ntotals: %d XOR block ops, %d copies (parity layout: %s, distribution %v)\n",
 		a.Stats.Ops.XORs, a.Stats.Ops.Copies, a.Layout(), a.ParityDistribution())
-}
-
-func buildCode(name string, k, p int) (core.Code, error) {
-	switch name {
-	case "liberation":
-		if p == 0 {
-			return liberation.NewAuto(k)
-		}
-		return liberation.New(k, p)
-	case "evenodd":
-		if p == 0 {
-			return evenodd.NewAuto(k)
-		}
-		return evenodd.New(k, p)
-	case "rdp":
-		if p == 0 {
-			return rdp.NewAuto(k)
-		}
-		return rdp.New(k, p)
-	case "rs":
-		return rs.New(k)
-	}
-	return nil, fmt.Errorf("unknown code %q", name)
 }
 
 func must(err error) {

@@ -12,12 +12,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 
-	"repro/internal/liberation"
+	"repro/internal/codes"
 )
+
+// explainer is the schedule-listing capability of the optimal Liberation
+// code; the registry hands back a core.Code, so explain discovers it the
+// same way the production stack discovers optional capabilities.
+type explainer interface {
+	ExplainEncode(w io.Writer)
+	ExplainDecode(w io.Writer, l, r int) error
+}
 
 func main() {
 	var (
@@ -29,10 +38,11 @@ func main() {
 	if *k == 0 {
 		*k = *p
 	}
-	code, err := liberation.New(*k, *p)
+	c, err := codes.New("liberation", *k, *p)
 	if err != nil {
 		log.Fatal(err)
 	}
+	code := c.(explainer)
 	if *erase == "" {
 		code.ExplainEncode(os.Stdout)
 		return

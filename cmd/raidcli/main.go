@@ -1,13 +1,16 @@
-// Command raidcli encodes files into RAID-6 Liberation shard sets and
-// recovers them with up to two shards missing or silently corrupted.
+// Command raidcli encodes files into RAID-6 shard sets and recovers
+// them with up to two shards missing or silently corrupted. The erasure
+// code is selected by registry name (-code liberation|rdp|evenodd|...);
+// recovery reads the code from the manifest, where -code and -p act as
+// cross-checks.
 //
 // Usage:
 //
-//	raidcli encode -k 6 [-p 7] [-elem 4096] [-out DIR] [-workers N] [-batch N] FILE
-//	raidcli decode [-out FILE] [-heal] [-workers N] [-batch N] MANIFEST
-//	raidcli repair [-workers N] [-batch N] MANIFEST
-//	raidcli verify MANIFEST
-//	raidcli info MANIFEST
+//	raidcli encode -k 6 [-code liberation] [-p 7] [-elem 4096] [-out DIR] [-workers N] [-batch N] FILE
+//	raidcli decode [-out FILE] [-code NAME] [-heal] [-workers N] [-batch N] MANIFEST
+//	raidcli repair [-code NAME] [-workers N] [-batch N] MANIFEST
+//	raidcli verify [-code NAME] MANIFEST
+//	raidcli info [-code NAME] MANIFEST
 //
 // Encode, decode, repair, and verify all take -retries and
 // -retry-backoff to bound the transient-I/O retry loop. With
@@ -36,8 +39,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/codes"
 	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -123,11 +128,18 @@ func run(cmd string, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  raidcli encode -k K [-p P] [-elem N] [-out DIR] [-workers N] [-batch N] FILE
-  raidcli decode [-out FILE] [-heal] [-workers N] [-batch N] MANIFEST
-  raidcli repair [-workers N] [-batch N] MANIFEST
-  raidcli verify MANIFEST
-  raidcli info MANIFEST
+  raidcli encode -k K [-code NAME] [-p P] [-elem N] [-out DIR] [-workers N] [-batch N] FILE
+  raidcli decode [-out FILE] [-code NAME] [-heal] [-workers N] [-batch N] MANIFEST
+  raidcli repair [-code NAME] [-workers N] [-batch N] MANIFEST
+  raidcli verify [-code NAME] MANIFEST
+  raidcli info [-code NAME] MANIFEST
+
+code selection:
+  -code NAME            erasure code by registry name (encode selects, default
+                        `+codes.Default+`; recovery cross-checks the manifest).
+                        Registered: `+strings.Join(codes.Names(), ", ")+`
+  -p P                  prime parameter of the array codes (encode: 0 = smallest
+                        usable; recovery cross-checks the manifest)
 
 robustness flags (encode/decode/repair/verify):
   -retries N            transient-I/O retries per operation (default 3)
@@ -143,6 +155,8 @@ observability flags (encode/decode/repair/verify):
 // ioFlags are the streaming + robustness flags shared by encode, decode,
 // and repair.
 type ioFlags struct {
+	code           string
+	prime          int
 	workers, batch int
 	stats          bool
 	logJSON        bool
@@ -154,6 +168,7 @@ type ioFlags struct {
 
 func addIOFlags(fs *flag.FlagSet) *ioFlags {
 	f := &ioFlags{}
+	addCodeFlags(fs, &f.code, &f.prime)
 	fs.IntVar(&f.workers, "workers", 1, "parallel coding workers (0 = all cores)")
 	fs.IntVar(&f.batch, "batch", 0, "stripes per streaming batch (0 = default)")
 	fs.BoolVar(&f.stats, "stats", false, "print operation statistics")
@@ -163,6 +178,27 @@ func addIOFlags(fs *flag.FlagSet) *ioFlags {
 	fs.StringVar(&f.faultProfile, "fault-profile", "", "fault-injection profile (requires RAIDCLI_CHAOS=1)")
 	fs.Int64Var(&f.faultSeed, "fault-seed", 1, "seed for the fault-injection schedule")
 	return f
+}
+
+// addCodeFlags registers the code-selection flags shared by every
+// subcommand: encode uses them to pick the code, the recovery commands
+// treat them as cross-checks against the manifest.
+func addCodeFlags(fs *flag.FlagSet, code *string, prime *int) {
+	fs.StringVar(code, "code", "", "erasure code by registry name: "+strings.Join(codes.Names(), ", "))
+	fs.IntVar(prime, "p", 0, "prime parameter (0 = smallest usable)")
+}
+
+// checkManifest cross-checks explicitly given -code/-p flags against a
+// loaded manifest, catching an operator pointing the wrong expectation
+// at a shard set before any shard I/O happens.
+func checkManifest(m *shard.Manifest, code string, prime int) error {
+	if code != "" && code != m.Code {
+		return usagef("manifest was encoded with code %q, not %q", m.Code, code)
+	}
+	if prime != 0 && prime != m.P {
+		return usagef("manifest was encoded with p=%d, not %d", m.P, prime)
+	}
+	return nil
 }
 
 // chaosEnabled reports whether the environment opted into fault
@@ -241,7 +277,6 @@ func parseFlags(fs *flag.FlagSet, args []string, positional int, what string) er
 func cmdEncode(args []string) error {
 	fs := flag.NewFlagSet("encode", flag.ContinueOnError)
 	k := fs.Int("k", 4, "number of data shards")
-	p := fs.Int("p", 0, "prime parameter (0 = smallest usable)")
 	elem := fs.Int("elem", 4096, "element size in bytes")
 	out := fs.String("out", ".", "output directory")
 	iof := addIOFlags(fs)
@@ -252,6 +287,7 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
+	opt.Code = iof.code
 	path := fs.Arg(0)
 	f, err := os.Open(path)
 	if err != nil {
@@ -263,13 +299,13 @@ func cmdEncode(args []string) error {
 		return err
 	}
 	done := iof.traced(&opt, reg, "raidcli.encode")
-	m, err := shard.EncodeOpts(f, st.Size(), filepath.Base(path), *k, *p, *elem, *out, opt)
+	m, err := shard.EncodeOpts(f, st.Size(), filepath.Base(path), *k, iof.prime, *elem, *out, opt)
 	done(err)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("encoded %s (%d bytes) as %d+2 shards (p=%d, %d stripes, element %dB) in %s\n",
-		m.FileName, m.FileSize, m.K, m.P, m.Stripes, m.ElemSize, *out)
+	fmt.Printf("encoded %s (%d bytes) as %d+2 shards (%s, p=%d, %d stripes, element %dB) in %s\n",
+		m.FileName, m.FileSize, m.K, m.Code, m.P, m.Stripes, m.ElemSize, *out)
 	printStats(os.Stdout, reg, m.K)
 	return nil
 }
@@ -290,6 +326,9 @@ func cmdDecode(args []string) error {
 	manifest := fs.Arg(0)
 	m, err := shard.LoadManifest(manifest)
 	if err != nil {
+		return err
+	}
+	if err := checkManifest(m, iof.code, iof.prime); err != nil {
 		return err
 	}
 	dest := *out
@@ -344,6 +383,9 @@ func cmdRepair(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := checkManifest(m, iof.code, iof.prime); err != nil {
+		return err
+	}
 	done := iof.traced(&opt, reg, "raidcli.repair")
 	repaired, err := shard.RepairOpts(fs.Arg(0), opt)
 	done(err)
@@ -368,6 +410,11 @@ func cmdVerify(args []string) error {
 	opt, reg, err := iof.options()
 	if err != nil {
 		return err
+	}
+	if m, merr := shard.LoadManifest(fs.Arg(0)); merr == nil {
+		if err := checkManifest(m, iof.code, iof.prime); err != nil {
+			return err
+		}
 	}
 	ctx, root := obs.StartOp(context.Background(), opt.Tracer, reg, "raidcli.verify")
 	opt.Context = ctx
@@ -394,6 +441,9 @@ func cmdVerify(args []string) error {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	var codeName string
+	var prime int
+	addCodeFlags(fs, &codeName, &prime)
 	if err := parseFlags(fs, args, 1, "one manifest"); err != nil {
 		return err
 	}
@@ -401,8 +451,16 @@ func cmdInfo(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := checkManifest(m, codeName, prime); err != nil {
+		return err
+	}
+	desc := ""
+	if info, ok := codes.Lookup(m.Code); ok {
+		desc = " — " + info.Description
+	}
 	fmt.Printf("file:      %s (%d bytes)\n", m.FileName, m.FileSize)
-	fmt.Printf("code:      liberation k=%d p=%d (tolerates any 2 lost shards)\n", m.K, m.P)
+	fmt.Printf("code:      %s k=%d p=%d w=%d (tolerates any 2 lost shards)%s\n",
+		m.Code, m.K, m.P, m.W, desc)
 	fmt.Printf("layout:    %d stripes, %dB elements, %d shards\n", m.Stripes, m.ElemSize, m.K+2)
 	for i := 0; i < m.K+2; i++ {
 		fmt.Printf("  %-16s crc32=%08x\n", m.ShardName(i), m.Checksums[i])
@@ -430,7 +488,7 @@ func printStats(w io.Writer, reg *obs.Registry, k int) {
 		fmt.Fprintf(w, "%-18s calls=%d xors=%d copies=%d", n, st.Calls, st.XORs, st.Copies)
 		if st.Units > 0 {
 			fmt.Fprintf(w, " xors/unit=%.3f", st.XORsPerUnit)
-			if n == "liberation.encode" {
+			if strings.HasSuffix(n, ".encode") && k > 1 {
 				fmt.Fprintf(w, " (lower bound k-1 = %d)", k-1)
 			}
 		}

@@ -30,15 +30,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/evenodd"
-	"repro/internal/liberation"
+	"repro/internal/codes"
 	"repro/internal/obs"
 	"repro/internal/raidsim"
-	"repro/internal/rdp"
-	"repro/internal/rs"
 	"repro/internal/workload"
 )
 
@@ -71,7 +68,7 @@ type monitor struct {
 }
 
 func newMonitor(cfg config) (*monitor, error) {
-	code, err := buildCode(cfg.codeName, cfg.k, cfg.p)
+	code, err := codes.New(cfg.codeName, cfg.k, cfg.p)
 	if err != nil {
 		return nil, err
 	}
@@ -223,33 +220,10 @@ func (m *monitor) rebuildEpisode(rd []byte) (err error) {
 	return nil
 }
 
-func buildCode(name string, k, p int) (core.Code, error) {
-	switch name {
-	case "liberation":
-		if p == 0 {
-			return liberation.NewAuto(k)
-		}
-		return liberation.New(k, p)
-	case "evenodd":
-		if p == 0 {
-			return evenodd.NewAuto(k)
-		}
-		return evenodd.New(k, p)
-	case "rdp":
-		if p == 0 {
-			return rdp.NewAuto(k)
-		}
-		return rdp.New(k, p)
-	case "rs":
-		return rs.New(k)
-	}
-	return nil, fmt.Errorf("unknown code %q", name)
-}
-
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		codeName = flag.String("code", "liberation", "erasure code: liberation, evenodd, rdp, rs")
+		codeName = flag.String("code", codes.Default, "erasure code: "+strings.Join(codes.Names(), ", "))
 		k        = flag.Int("k", 8, "data disks")
 		p        = flag.Int("p", 0, "prime parameter (0 = smallest usable; ignored for rs)")
 		elem     = flag.Int("elem", 1024, "element size in bytes")

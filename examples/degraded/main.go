@@ -9,12 +9,12 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/liberation"
+	"repro/internal/codes"
 	"repro/internal/raidsim"
 )
 
 func main() {
-	code, err := liberation.NewAuto(8) // 8 data disks + P + Q
+	code, err := codes.New("liberation", 8, 0) // 8 data disks + P + Q
 	if err != nil {
 		log.Fatal(err)
 	}

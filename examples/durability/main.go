@@ -12,13 +12,13 @@ import (
 	"time"
 
 	"repro/internal/benchutil"
-	"repro/internal/liberation"
+	"repro/internal/codes"
 	"repro/internal/reliability"
 )
 
 func main() {
 	const k = 10
-	code, err := liberation.NewAuto(k)
+	code, err := codes.New("liberation", k, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,16 +12,25 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/internal/codes"
 	"repro/internal/core"
-	"repro/internal/liberation"
 )
+
+// growable is what this walkthrough needs beyond core.Code: parity
+// verification and small writes. The registry hands back a core.Code;
+// optional capabilities are discovered by assertion, exactly as the
+// production layers do.
+type growable interface {
+	core.Updater
+	Verify(s *core.Stripe) (bool, error)
+}
 
 func main() {
 	const p = 31 // sized for the largest array we anticipate
 	const elem = 1024
 
 	// Day 0: four data disks.
-	small, err := liberation.New(4, p)
+	small, err := codes.New("liberation", 4, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,10 +44,11 @@ func main() {
 	// Day 1: a fifth disk arrives. Reinterpret the same stripe as k=5 by
 	// splicing in an all-zero strip where phantom column 4 used to be.
 	// No parity is recomputed.
-	big, err := liberation.New(5, p)
+	bigCode, err := codes.New("liberation", 5, p)
 	if err != nil {
 		log.Fatal(err)
 	}
+	big := bigCode.(growable)
 	grown := &core.Stripe{K: 5, W: p, ElemSize: elem, Strips: [][]byte{
 		stripe.Strips[0], stripe.Strips[1], stripe.Strips[2], stripe.Strips[3],
 		make([]byte, p*elem), // the new disk, zero-filled

@@ -8,18 +8,20 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/internal/codes"
 	"repro/internal/core"
-	"repro/internal/liberation"
 )
 
 func main() {
-	// A RAID-6 array with k=6 data disks. NewAuto picks the smallest
-	// usable odd prime (p=7), giving a 7x9 array of elements per stripe.
-	code, err := liberation.NewAuto(6)
+	// A RAID-6 array with k=6 data disks. Passing p=0 lets the registry
+	// pick the smallest usable odd prime (p=7), giving a 7x9 array of
+	// elements per stripe.
+	code, err := codes.New("liberation", 6, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	k, p := code.K(), code.P()
+	k := code.K()
+	p, _ := codes.Prime(code)
 	fmt.Printf("code: %s (stripe = %d data strips + P + Q, %d elements each)\n",
 		code.Name(), k, code.W())
 
@@ -56,7 +58,7 @@ func main() {
 	// optimality that motivates Liberation codes.
 	old := append([]byte(nil), stripe.Elem(2, 3)...)
 	stripe.Elem(2, 3)[0] ^= 0xff
-	n, err := code.Update(stripe, 2, 3, old, nil)
+	n, err := code.(core.Updater).Update(stripe, 2, 3, old, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

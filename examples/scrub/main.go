@@ -10,12 +10,12 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/liberation"
+	"repro/internal/codes"
 	"repro/internal/raidsim"
 )
 
 func main() {
-	code, err := liberation.New(6, 7)
+	code, err := codes.New("liberation", 6, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

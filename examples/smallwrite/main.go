@@ -11,11 +11,9 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/internal/codes"
 	"repro/internal/core"
-	"repro/internal/evenodd"
-	"repro/internal/liberation"
 	"repro/internal/raidsim"
-	"repro/internal/rdp"
 )
 
 func main() {
@@ -25,15 +23,11 @@ func main() {
 		stripes  = 16
 		writes   = 2000
 	)
-	codes := map[string]core.Code{}
-	if c, err := liberation.NewAuto(k); err == nil {
-		codes["liberation"] = c
-	}
-	if c, err := evenodd.NewAuto(k); err == nil {
-		codes["evenodd"] = c
-	}
-	if c, err := rdp.NewAuto(k); err == nil {
-		codes["rdp"] = c
+	available := map[string]core.Code{}
+	for _, name := range []string{"liberation", "evenodd", "rdp"} {
+		if c, err := codes.New(name, k, 0); err == nil {
+			available[name] = c
+		}
 	}
 
 	fmt.Printf("workload: %d random %dB (element-aligned) writes on a k=%d array\n\n",
@@ -41,7 +35,7 @@ func main() {
 	fmt.Printf("%-12s %16s %18s %14s\n",
 		"code", "parity elements", "bytes to media", "write amp")
 	for _, name := range []string{"liberation", "evenodd", "rdp"} {
-		code, ok := codes[name]
+		code, ok := available[name]
 		if !ok {
 			log.Fatalf("code %s unavailable", name)
 		}

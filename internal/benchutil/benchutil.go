@@ -15,8 +15,9 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/bitmatrix"
+	"repro/internal/codes"
 	"repro/internal/core"
-	"repro/internal/liberation"
 )
 
 // KB is 1024 bytes.
@@ -71,21 +72,21 @@ const (
 	VariantOptimal  = "optimal"
 )
 
-// newVariant builds the requested Liberation implementation. The original
-// variant runs with Jerasure's lazy scheduling semantics (schedule and
-// decoding matrix rebuilt per call), which is what the paper benchmarks
-// against.
+// newVariant builds the requested Liberation implementation through the
+// code registry. The original variant runs with Jerasure's lazy
+// scheduling semantics (schedule and decoding matrix rebuilt per call),
+// which is what the paper benchmarks against.
 func newVariant(variant string, k, p int) (core.Code, error) {
 	switch variant {
 	case VariantOriginal:
-		c, err := liberation.NewOriginal(k, p)
+		c, err := codes.New("liberation-original", k, p)
 		if err != nil {
 			return nil, err
 		}
-		c.LazyEncodeSchedule = true
+		c.(*bitmatrix.Code).LazyEncodeSchedule = true
 		return c, nil
 	case VariantOptimal:
-		return liberation.New(k, p)
+		return codes.New("liberation", k, p)
 	}
 	return nil, fmt.Errorf("benchutil: unknown variant %q", variant)
 }

@@ -7,8 +7,8 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/codes"
 	"repro/internal/core"
-	"repro/internal/liberation"
 	"repro/internal/xorblk"
 )
 
@@ -112,10 +112,11 @@ func RunCoreReport(benchTime time.Duration) (*CoreReport, error) {
 	if benchTime <= 0 {
 		benchTime = 250 * time.Millisecond
 	}
-	code, err := liberation.New(gateK, gateP)
+	code, err := codes.New("liberation", gateK, gateP)
 	if err != nil {
 		return nil, err
 	}
+	corrector := code.(core.ColumnCorrector)
 	w := code.W()
 	s := core.NewStripe(gateK, w, gateElem)
 	for col := 0; col < gateK; col++ {
@@ -170,7 +171,7 @@ func RunCoreReport(benchTime time.Duration) (*CoreReport, error) {
 	corrupt := func() { s.Elem(1, 0)[0] ^= 0xff }
 	corrupt()
 	ops.Reset()
-	if col, err := code.CorrectColumn(s, &ops); err != nil {
+	if col, err := corrector.CorrectColumn(s, &ops); err != nil {
 		return nil, err
 	} else if col != 1 {
 		return nil, fmt.Errorf("benchutil: CorrectColumn healed column %d, want 1", col)
@@ -179,7 +180,7 @@ func RunCoreReport(benchTime time.Duration) (*CoreReport, error) {
 		ops.XORs, uint64(w), w*gateElem,
 		func() {
 			corrupt()
-			if _, err := code.CorrectColumn(s, nil); err != nil {
+			if _, err := corrector.CorrectColumn(s, nil); err != nil {
 				panic(err)
 			}
 		})

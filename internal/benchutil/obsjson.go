@@ -5,8 +5,8 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/codes"
 	"repro/internal/core"
-	"repro/internal/liberation"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
@@ -30,12 +30,11 @@ type ObsReport struct {
 // element-operation counters are exactly reproducible; only the latency
 // and throughput fields vary by machine.
 func RunObservedWorkload(k, p, elemSize, stripes int) (*ObsReport, error) {
-	code, err := liberation.New(k, p)
+	reg := obs.NewRegistry()
+	code, err := codes.NewObserved("liberation", k, p, reg)
 	if err != nil {
 		return nil, err
 	}
-	reg := obs.NewRegistry()
-	code.Instrument(reg)
 
 	batch := make([]*core.Stripe, stripes)
 	for i := range batch {

@@ -1,0 +1,13 @@
+package bitmatrix
+
+import "repro/internal/obs"
+
+// Instrument attaches a metrics registry to the code: from then on every
+// Encode and Decode records a span — latency, bytes processed, work
+// units, and the exact core.Ops element counts — under span names
+// derived from the code's name with the parameter list stripped, e.g.
+// liberation-orig.encode or crs.decode. A nil registry detaches.
+func (c *Code) Instrument(reg *obs.Registry) { c.obs = reg }
+
+// Registry returns the attached metrics registry (nil when detached).
+func (c *Code) Registry() *obs.Registry { return c.obs }

@@ -11,9 +11,9 @@ import (
 	"fmt"
 
 	"repro/internal/bitmatrix"
+	"repro/internal/codes"
 	"repro/internal/core"
 	"repro/internal/evenodd"
-	"repro/internal/liberation"
 	"repro/internal/rdp"
 )
 
@@ -92,11 +92,11 @@ func build(series string, k, fixedP int) (codeUnderTest, bool) {
 		if k > p {
 			return codeUnderTest{}, false
 		}
-		c, err := liberation.NewOriginal(k, p)
+		c, err := codes.New("liberation-original", k, p)
 		if err != nil {
 			return codeUnderTest{}, false
 		}
-		c.CacheDecodeSchedules = true
+		c.(*bitmatrix.Code).CacheDecodeSchedules = true
 		return codeUnderTest{c, p, p}, true
 	case SeriesLiberationOptimal:
 		p := fixedP
@@ -106,7 +106,7 @@ func build(series string, k, fixedP int) (codeUnderTest, bool) {
 		if k > p {
 			return codeUnderTest{}, false
 		}
-		c, err := liberation.New(k, p)
+		c, err := codes.New("liberation", k, p)
 		if err != nil {
 			return codeUnderTest{}, false
 		}

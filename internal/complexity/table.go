@@ -1,9 +1,10 @@
 package complexity
 
 import (
+	"repro/internal/bitmatrix"
+	"repro/internal/codes"
 	"repro/internal/core"
 	"repro/internal/evenodd"
-	"repro/internal/liberation"
 	"repro/internal/rdp"
 )
 
@@ -65,11 +66,11 @@ func UpdateComplexity(series string, k, p int) float64 {
 		g := c.Generator()
 		ones, bits = g.Ones(), g.C
 	case SeriesLiberationOriginal, SeriesLiberationOptimal:
-		c, err := liberation.New(k, p)
+		c, err := codes.New("liberation", k, p)
 		if err != nil {
 			return 0
 		}
-		g := c.Generator()
+		g := c.(interface{ Generator() *bitmatrix.Matrix }).Generator()
 		ones, bits = g.Ones(), g.C
 	default:
 		return 0

@@ -53,6 +53,24 @@ type Updater interface {
 	Update(s *Stripe, col, row int, oldElem []byte, ops *Ops) (int, error)
 }
 
+// CleanColumn is returned by ColumnCorrector.CorrectColumn when no
+// corruption is present.
+const CleanColumn = -1
+
+// A ColumnCorrector is a Code that can localize and repair silent
+// single-strip corruption in a full stripe (no erasures) — the paper's
+// single-column error correction. Layers that scrub or heal consult this
+// capability at runtime: codes that lack it fall back to detect-only
+// scrubbing and straight erasure decoding.
+type ColumnCorrector interface {
+	Code
+	// CorrectColumn scans s for a single silently corrupted strip and
+	// repairs it in place, returning the index of the repaired strip, or
+	// CleanColumn if the parities verify. Corruption that is not confined
+	// to one column yields an error and leaves the stripe as it was.
+	CorrectColumn(s *Stripe, ops *Ops) (int, error)
+}
+
 // Stripe is one stripe of a RAID-6 array: K data strips and 2 parity
 // strips, each W elements of ElemSize bytes.
 type Stripe struct {

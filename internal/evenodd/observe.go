@@ -1,0 +1,13 @@
+package evenodd
+
+import "repro/internal/obs"
+
+// Instrument attaches a metrics registry to the code: from then on every
+// Encode, Decode and Update records a span — latency, bytes processed,
+// work units, and the exact core.Ops element counts — under the span
+// names evenodd.encode, evenodd.decode and evenodd.update. A nil
+// registry detaches.
+func (c *Code) Instrument(reg *obs.Registry) { c.obs = reg }
+
+// Registry returns the attached metrics registry (nil when detached).
+func (c *Code) Registry() *obs.Registry { return c.obs }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xorblk"
 )
 
@@ -14,6 +15,18 @@ import (
 // EVENODD's average update complexity is ~3 (Table I) rather than the
 // lower bound of 2.
 func (c *Code) Update(s *core.Stripe, col, row int, oldElem []byte, ops *core.Ops) (int, error) {
+	if c.obs == nil {
+		return c.update(s, col, row, oldElem, ops)
+	}
+	sp := obs.StartSpan(c.obs, "evenodd.update")
+	var local core.Ops
+	touched, err := c.update(s, col, row, oldElem, &local)
+	ops.Add(local)
+	sp.Bytes(s.ElemSize).Units(touched).Ops(local).End(err)
+	return touched, err
+}
+
+func (c *Code) update(s *core.Stripe, col, row int, oldElem []byte, ops *core.Ops) (int, error) {
 	if err := s.CheckShape(c.k, c.p-1); err != nil {
 		return 0, err
 	}

@@ -14,7 +14,9 @@ import (
 var ErrAmbiguousCorruption = errors.New("liberation: corruption not attributable to a single column")
 
 // CleanColumn is returned by CorrectColumn when no corruption is present.
-const CleanColumn = -1
+// It now lives in core (the capability home of core.ColumnCorrector);
+// this alias keeps existing callers compiling.
+const CleanColumn = core.CleanColumn
 
 // CorrectColumn scans a full stripe (no erasures) for a single silently
 // corrupted strip and repairs it in place — the single-column error

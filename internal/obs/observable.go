@@ -1,0 +1,46 @@
+package obs
+
+import "repro/internal/core"
+
+// Observable is the capability interface for erasure codes (and other
+// components) that can attach a metrics registry. It is the typed form
+// of what the production stack used to reach through a liberation-only
+// downcast: any code that implements it gets per-operation spans in the
+// registry the stack runs with.
+//
+// The interface lives here rather than in core because its method is
+// typed on *Registry and obs already depends on core for the Ops
+// accounting — core cannot import obs back.
+type Observable interface {
+	Instrument(reg *Registry)
+}
+
+// InstrumentCode attaches reg to code when the code is Observable,
+// reporting whether instrumentation took. Nil registries and
+// non-Observable codes are no-ops — callers consult the capability, they
+// never require it.
+func InstrumentCode(code any, reg *Registry) bool {
+	o, ok := code.(Observable)
+	if !ok || reg == nil {
+		return false
+	}
+	o.Instrument(reg)
+	return true
+}
+
+// Observed runs fn with a private Ops, merges the counts into the
+// caller's ops, and records a span under name carrying latency, bytes,
+// work units, and the exact element-operation counts. It is the shared
+// span-wrapping helper behind every code package's Instrument support; a
+// nil registry runs fn directly with no overhead.
+func Observed(reg *Registry, name string, bytes, units int, ops *core.Ops, fn func(*core.Ops) error) error {
+	if reg == nil {
+		return fn(ops)
+	}
+	sp := StartSpan(reg, name)
+	var local core.Ops
+	err := fn(&local)
+	ops.Add(local)
+	sp.Bytes(bytes).Units(units).Ops(local).End(err)
+	return err
+}

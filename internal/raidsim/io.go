@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/liberation"
 )
 
 // Read copies len(p) data bytes starting at logical offset off into p.
@@ -215,10 +214,10 @@ type ScrubResult struct {
 }
 
 // Scrub verifies every stripe and repairs single-strip corruption when
-// the code supports localization (the paper's single-column error
-// correction, available for the Liberation code). It returns the repairs
-// made; stripes whose corruption cannot be localized are reported with
-// Strip == -1 and left untouched.
+// the code supports localization (the core.ColumnCorrector capability,
+// i.e. the paper's single-column error correction). It returns the
+// repairs made; stripes whose corruption cannot be localized are
+// reported with Strip == -1 and left untouched.
 func (a *Array) Scrub() ([]ScrubResult, error) {
 	if a.numFailed() > 0 {
 		return nil, fmt.Errorf("%w: scrub requires all disks online", ErrDiskState)
@@ -229,13 +228,13 @@ func (a *Array) Scrub() ([]ScrubResult, error) {
 	defer func() { sp.end(a, a.stripes*a.k*a.w*a.elemSize, scrubErr) }()
 	for stripe := 0; stripe < a.stripes; stripe++ {
 		view := a.view(stripe)
-		if a.lib != nil {
-			col, err := a.lib.CorrectColumn(view, &a.Stats.Ops)
+		if a.corrector != nil {
+			col, err := a.corrector.CorrectColumn(view, &a.Stats.Ops)
 			if err != nil {
 				results = append(results, ScrubResult{Stripe: stripe, Disk: -1, Strip: -1})
 				continue
 			}
-			if col != liberation.CleanColumn {
+			if col != core.CleanColumn {
 				a.Stats.ScrubRepairs++
 				disk := a.diskFor(stripe, col)
 				a.count("raid.scrub_repairs", 1)

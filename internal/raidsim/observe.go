@@ -13,13 +13,13 @@ import (
 // operation counts of the coding work it triggered; the array-level
 // event counters (degraded reads, small writes, scrub repairs by disk)
 // and the raid.rebuild.progress gauge update live. When the underlying
-// code is a liberation.Code it is instrumented with the same registry,
-// so the per-algorithm spans (liberation.encode etc.) nest alongside.
-// Pass nil to detach.
+// code is obs.Observable it is instrumented with the same registry, so
+// the per-algorithm spans (liberation.encode, rdp.decode, ...) nest
+// alongside. Pass nil to detach.
 func (a *Array) Instrument(reg *obs.Registry) {
 	a.obs = reg
-	if a.lib != nil {
-		a.lib.Instrument(reg)
+	if o, ok := a.code.(obs.Observable); ok {
+		o.Instrument(reg)
 	}
 }
 

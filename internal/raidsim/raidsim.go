@@ -17,7 +17,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/liberation"
 	"repro/internal/obs"
 )
 
@@ -41,13 +40,13 @@ type Stats struct {
 
 // Array is a simulated RAID-6 disk array.
 type Array struct {
-	code     core.Code
-	updater  core.Updater     // non-nil when the code supports small writes
-	lib      *liberation.Code // non-nil when scrubbing can localize errors
-	k, w     int
-	n        int // k + 2 disks
-	elemSize int
-	stripes  int
+	code      core.Code
+	updater   core.Updater         // non-nil when the code supports small writes
+	corrector core.ColumnCorrector // non-nil when scrubbing can localize errors
+	k, w      int
+	n         int // k + 2 disks
+	elemSize  int
+	stripes   int
 
 	disks  [][]byte
 	failed []bool
@@ -73,7 +72,7 @@ func New(code core.Code, elemSize, stripes int) (*Array, error) {
 		stripes:  stripes,
 	}
 	a.updater, _ = code.(core.Updater)
-	a.lib, _ = code.(*liberation.Code)
+	a.corrector, _ = code.(core.ColumnCorrector)
 	stripBytes := a.w * elemSize
 	a.disks = make([][]byte, a.n)
 	for i := range a.disks {

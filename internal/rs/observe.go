@@ -1,0 +1,13 @@
+package rs
+
+import "repro/internal/obs"
+
+// Instrument attaches a metrics registry to the code: from then on every
+// Encode and Decode records a span — latency, bytes processed, work
+// units, and the exact core.Ops element counts — under the span names
+// rs.encode and rs.decode. (GF(2^8) multiplications on the Q path are
+// not element XORs and are not counted in Ops.) A nil registry detaches.
+func (c *Code) Instrument(reg *obs.Registry) { c.obs = reg }
+
+// Registry returns the attached metrics registry (nil when detached).
+func (c *Code) Registry() *obs.Registry { return c.obs }

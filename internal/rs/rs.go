@@ -15,11 +15,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gf"
+	"repro/internal/obs"
 )
 
 // Code is a Reed-Solomon P+Q RAID-6 instance with k data strips.
 type Code struct {
 	k int
+
+	obs *obs.Registry // optional metrics sink (see Instrument)
 }
 
 // New returns the RS P+Q code for k data strips (1 <= k <= 255).
@@ -40,6 +43,11 @@ func (c *Code) W() int { return 1 }
 // Q = ((D_{k-1} * g + D_{k-2}) * g + ...) so that the hot loop is one
 // doubling plus one XOR per data strip, as in the Linux implementation.
 func (c *Code) Encode(s *core.Stripe, ops *core.Ops) error {
+	return obs.Observed(c.obs, "rs.encode", s.DataSize(), 2, ops,
+		func(o *core.Ops) error { return c.encode(s, o) })
+}
+
+func (c *Code) encode(s *core.Stripe, ops *core.Ops) error {
 	if err := s.CheckShape(c.k, 1); err != nil {
 		return err
 	}
@@ -60,6 +68,11 @@ func (c *Code) Encode(s *core.Stripe, ops *core.Ops) error {
 // appropriate powers of g for the Q side, and the two-data-failure case
 // solved from the 2x2 Vandermonde system.
 func (c *Code) Decode(s *core.Stripe, erased []int, ops *core.Ops) error {
+	return obs.Observed(c.obs, "rs.decode", s.DataSize(), len(erased), ops,
+		func(o *core.Ops) error { return c.decode(s, erased, o) })
+}
+
+func (c *Code) decode(s *core.Stripe, erased []int, ops *core.Ops) error {
 	if err := s.CheckShape(c.k, 1); err != nil {
 		return err
 	}
@@ -82,7 +95,7 @@ func (c *Code) Decode(s *core.Stripe, erased []int, ops *core.Ops) error {
 		}
 		switch {
 		case a >= k: // P and Q
-			return c.Encode(s, ops)
+			return c.encode(s, ops)
 		case b == k: // data + P: recover data from Q, then P
 			c.recoverViaQ(s, a, ops)
 			return c.encodeP(s, ops)

@@ -12,7 +12,6 @@ import (
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/liberation"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/store"
@@ -102,15 +101,12 @@ func DecodeReport(manifestPath string, w io.Writer, opt Options) (_ *Report, err
 	if err != nil {
 		return nil, err
 	}
-	code, err := newCode(m.K, m.P, opt.Registry)
+	code, err := manifestCode(m, opt.Registry)
 	if err != nil {
 		return nil, err
 	}
 
-	r := &recovery{
-		m: m, code: code, opt: opt, reg: opt.Registry, st: st, ctx: ctx,
-		dir: filepath.Dir(manifestPath),
-	}
+	r := newRecovery(m, code, opt, st, ctx, filepath.Dir(manifestPath))
 	sink := &decodeSink{w: w, m: m}
 	err = r.run(sink)
 	return r.rep, err
@@ -152,13 +148,13 @@ func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
 	if err != nil {
 		return nil, err
 	}
-	code, err := newCode(m.K, m.P, opt.Registry)
+	code, err := manifestCode(m, opt.Registry)
 	if err != nil {
 		return nil, err
 	}
 
 	dir := filepath.Dir(manifestPath)
-	r := &recovery{m: m, code: code, opt: opt, reg: opt.Registry, st: st, ctx: ctx, dir: dir}
+	r := newRecovery(m, code, opt, st, ctx, dir)
 	sink := &repairSink{m: m, st: st, dir: dir}
 	if err = r.run(sink); err != nil {
 		return nil, err
@@ -170,16 +166,29 @@ func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
 // repair.
 type recovery struct {
 	m    *Manifest
-	code *liberation.Code
-	opt  Options
-	reg  *obs.Registry
-	st   store.Store
-	ctx  context.Context // carries the operation's trace
-	dir  string
+	code core.Code
+	// corrector is the code's single-column error correction capability,
+	// nil when the code does not provide one — the ladder then skips the
+	// correction rung and goes straight to erasure decode.
+	corrector core.ColumnCorrector
+	opt       Options
+	reg       *obs.Registry
+	st        store.Store
+	ctx       context.Context // carries the operation's trace
+	dir       string
 
 	rep     *Report
 	forced  map[int]error // mid-stream quarantines, by column
 	counted map[int]bool  // shard.quarantine.total dedup across attempts
+}
+
+// newRecovery wires up the attempt loop, discovering the code's
+// correction capability by interface assertion rather than by name.
+func newRecovery(m *Manifest, code core.Code, opt Options, st store.Store,
+	ctx context.Context, dir string) *recovery {
+	r := &recovery{m: m, code: code, opt: opt, reg: opt.Registry, st: st, ctx: ctx, dir: dir}
+	r.corrector, _ = code.(core.ColumnCorrector)
+	return r
 }
 
 // maxAttempts bounds the restart loop defensively; the quarantine budget
@@ -270,9 +279,20 @@ func (r *recovery) attempt(ctx context.Context, files []store.File, status []Sha
 		// plain io.Writer) must not gamble on a rung that may need a
 		// quarantine restart when the plain erasure rung would do.
 		if r.opt.Heal || len(soft) > 2 || sink.canRestart() {
-			obs.Emit(ctx, slog.LevelInfo, "shard.rung",
-				slog.String("rung", "correction"), slog.Int("suspects", len(soft)))
-			return r.correctionStream(ctx, files, soft, sink)
+			if r.corrector == nil {
+				// The code cannot localize silent corruption: record why
+				// the heal rung was skipped and drop to erasure decode.
+				r.reg.Count("shard.rung.skip.total", 1)
+				obs.Emit(ctx, slog.LevelInfo, "shard.rung.skip",
+					slog.String("rung", "correction"),
+					slog.String("reason", "code lacks column correction"),
+					slog.String("code", r.code.Name()),
+					slog.Int("suspects", len(soft)))
+			} else {
+				obs.Emit(ctx, slog.LevelInfo, "shard.rung",
+					slog.String("rung", "correction"), slog.Int("suspects", len(soft)))
+				return r.correctionStream(ctx, files, soft, sink)
+			}
 		}
 	}
 	erased := make([]int, 0, len(hard)+len(soft))
@@ -374,9 +394,9 @@ func (r *recovery) correctionStream(ctx context.Context, files []store.File, sof
 			return &quarantineError{col: col, cause: err}
 		}
 		for j := 0; j < n; j++ {
-			col, cerr := r.code.CorrectColumn(stripes[j], nil)
+			col, cerr := r.corrector.CorrectColumn(stripes[j], nil)
 			switch {
-			case cerr == nil && col != liberation.CleanColumn:
+			case cerr == nil && col != core.CleanColumn:
 				r.rep.Corrections++
 				r.reg.Count("shard.correct_column.total", 1)
 				obs.Emit(ctx, slog.LevelInfo, "shard.correct_column",

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codes"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -81,7 +82,8 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 		return nil, fmt.Errorf("%w: negative size", core.ErrParams)
 	}
 	reg := opt.Registry
-	code, err := newCode(k, p, reg)
+	codeName := opt.codeName()
+	code, err := newCode(codeName, k, p, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -97,11 +99,19 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 	if stripes == 0 {
 		stripes = 1
 	}
+	// Record the resolved prime when the code exposes one (so an auto-
+	// selected p survives into the manifest); otherwise keep the request
+	// (0 for the non-prime codes), which reconstructs identically.
+	mp := p
+	if resolved, ok := codes.Prime(code); ok {
+		mp = resolved
+	}
 	m := &Manifest{
 		Version:  FormatVersion,
-		Code:     "liberation",
+		Code:     codeName,
 		K:        k,
-		P:        code.P(),
+		P:        mp,
+		W:        w,
 		ElemSize: elemSize,
 		FileName: filepath.Base(fileName),
 		FileSize: size,

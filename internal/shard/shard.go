@@ -34,32 +34,41 @@ import (
 	"log/slog"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
-	"repro/internal/liberation"
+	"repro/internal/codes"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
 
-// newCode builds the liberation code (p = 0 selects the smallest usable
-// prime) and attaches the optional metrics registry.
-func newCode(k, p int, reg *obs.Registry) (*liberation.Code, error) {
-	var code *liberation.Code
-	var err error
-	if p == 0 {
-		code, err = liberation.NewAuto(k)
-	} else {
-		code, err = liberation.New(k, p)
-	}
+// newCode resolves a code by registry name (p = 0 selects the smallest
+// usable prime for the array codes) and attaches the optional metrics
+// registry to codes that support instrumentation.
+func newCode(name string, k, p int, reg *obs.Registry) (core.Code, error) {
+	return codes.NewObserved(name, k, p, reg)
+}
+
+// manifestCode constructs the code a manifest was encoded with and
+// cross-checks the manifest's recorded strip width against it, so a
+// manifest that lies about its geometry fails before any shard I/O.
+func manifestCode(m *Manifest, reg *obs.Registry) (core.Code, error) {
+	code, err := newCode(m.Code, m.K, m.P, reg)
 	if err != nil {
 		return nil, err
 	}
-	code.Instrument(reg)
+	if code.W() != m.widthElems() {
+		return nil, fmt.Errorf("%w: code %q has %d elements per strip, manifest says %d",
+			ErrManifest, m.Code, code.W(), m.widthElems())
+	}
 	return code, nil
 }
 
-// FormatVersion identifies the manifest/shard layout.
-const FormatVersion = 1
+// FormatVersion identifies the manifest/shard layout. Version 2 records
+// the erasure code by registry name together with its strip width;
+// version 1 manifests (implicitly Liberation) still load.
+const FormatVersion = 2
 
 // DefaultBatchStripes is the pipeline batch size used when
 // Options.BatchStripes is zero. It bounds the streaming paths' resident
@@ -103,7 +112,20 @@ type Options struct {
 	// clean, catching read-path bit-flips at the cost of one extra
 	// parity computation per stripe. (When the probe quarantines
 	// checksum-corrupt shards, the correction path engages regardless.)
+	// Codes without the core.ColumnCorrector capability skip this rung
+	// and fall straight to erasure decode.
 	Heal bool
+	// Code selects the erasure code by registry name for Encode (empty =
+	// codes.Default, i.e. "liberation"). Decode, repair and verify take
+	// the code from the manifest instead.
+	Code string
+}
+
+func (o Options) codeName() string {
+	if o.Code != "" {
+		return o.Code
+	}
+	return codes.Default
 }
 
 func (o Options) batch() int {
@@ -175,12 +197,19 @@ func addGauge(reg *obs.Registry, name string, delta float64) {
 }
 
 // Manifest describes an encoded shard set. It is stored as JSON next to
-// the shards.
+// the shards. Version 2 names the erasure code (a codes registry name)
+// and its strip width W; version 1 predates the registry and implies
+// the Liberation code with W = P.
 type Manifest struct {
-	Version  int    `json:"version"`
-	Code     string `json:"code"` // always "liberation"
-	K        int    `json:"k"`
-	P        int    `json:"p"`
+	Version int    `json:"version"`
+	Code    string `json:"code"` // codes registry name, e.g. "liberation"
+	K       int    `json:"k"`
+	// P is the prime parameter of the array codes (0 for codes without
+	// one, or when it was auto-selected at encode time).
+	P int `json:"p"`
+	// W is the number of elements per strip. Absent in version 1
+	// manifests, where it equals P.
+	W        int    `json:"w,omitempty"`
 	ElemSize int    `json:"elem_size"`
 	FileName string `json:"file_name"`
 	FileSize int64  `json:"file_size"`
@@ -230,11 +259,24 @@ func loadManifest(st store.Store, path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrManifest, err)
 	}
-	if m.Version != FormatVersion {
+	switch m.Version {
+	case 1:
+		// Pre-registry layout: implicitly Liberation, strip width = p.
+		if m.Code != "liberation" {
+			return nil, fmt.Errorf("%w: version 1 supports only the liberation code, got %q",
+				ErrManifest, m.Code)
+		}
+		m.W = m.P
+	case FormatVersion:
+		if !codes.Known(m.Code) {
+			return nil, fmt.Errorf("%w: unknown code %q (registered: %s)",
+				ErrManifest, m.Code, strings.Join(codes.Names(), ", "))
+		}
+		if m.W <= 0 {
+			return nil, fmt.Errorf("%w: missing strip width", ErrManifest)
+		}
+	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrManifest, m.Version)
-	}
-	if m.Code != "liberation" {
-		return nil, fmt.Errorf("%w: unsupported code %q", ErrManifest, m.Code)
 	}
 	if len(m.Checksums) != m.K+2 {
 		return nil, fmt.Errorf("%w: %d checksums, want %d",
@@ -400,9 +442,9 @@ func (m *Manifest) shardShape() (stripBytes int, shardSize int64) {
 	return stripBytes, int64(m.Stripes) * int64(stripBytes)
 }
 
-// widthElems returns W (elements per strip) for the manifest's code: p
-// for the Liberation codes.
-func (m *Manifest) widthElems() int { return m.P }
+// widthElems returns W (elements per strip) for the manifest's code
+// (version 1 manifests had it fixed up to P at load time).
+func (m *Manifest) widthElems() int { return m.W }
 
 // writeManifest stores m as indented JSON at path through the store.
 func writeManifest(st store.Store, m *Manifest, path string) error {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check verify conformance chaos bench bench-obs bench-gate bench-baseline race-obs clean
+.PHONY: all build test race vet fmt check verify conformance chaos bench bench-obs bench-gate bench-baseline race-obs monitor-soak clean
 
 all: build
 
@@ -68,10 +68,19 @@ bench-baseline:
 	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_core.json -write
 
 # Race-detector pass focused on the observability surfaces: concurrent
-# flight-recorder scrapes, event-log writes, and traced degraded decodes.
+# flight-recorder scrapes, event-log writes, traced degraded decodes, and
+# monitoring-plane scrapes while the sampler ticks.
 race-obs:
 	$(GO) test -race -count=1 -run 'Trace|Flight|LogJSON|Concurrent|EventLog' \
-		./internal/obs ./internal/shard ./cmd/raidcli ./cmd/raidmon
+		./internal/obs ./internal/shard ./internal/monitor ./cmd/raidcli ./cmd/raidmon
+
+# monitor-soak is the monitoring-plane gate: a seeded faultstore chaos
+# schedule over repeated decodes must drive an alert through the full
+# ok -> pending -> firing -> resolved ladder and return the health
+# verdict to healthy. Deterministic (fake clock, seeded faults); every
+# failure reproduces exactly.
+monitor-soak:
+	$(GO) test -count=1 -run 'TestMonitorChaosSoak|TestAlertLadderEndToEnd' -v ./internal/monitor/
 
 clean:
 	$(GO) clean ./...

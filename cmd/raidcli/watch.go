@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// cmdWatch polls a running raidmon's monitoring plane and renders the
+// health verdict and alert states as plain text — the operator's
+// at-a-glance view of an array, built on the same /api/v1 endpoints a
+// dashboard would scrape.
+//
+//	raidcli watch -url http://host:8080 [-interval 2s] [-n 0]
+//
+// -n bounds the number of polls (0 = until killed). The final poll's
+// verdict decides the exit code: healthy exits 0, degraded or critical
+// exits 1, so a scripted `raidcli watch -n 1` is a health probe.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	base := fs.String("url", "http://localhost:8080", "raidmon base URL")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	n := fs.Int("n", 0, "number of polls (0 = until killed)")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return usagef("watch: %v", err)
+	}
+	if fs.NArg() != 0 {
+		return usagef("watch takes no positional arguments")
+	}
+	if _, err := url.Parse(*base); err != nil {
+		return usagef("watch: bad -url: %v", err)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var last monitor.Verdict
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		h, err := watchRound(client, *base, os.Stdout)
+		if err != nil {
+			return err
+		}
+		last = h
+	}
+	if last != monitor.Healthy {
+		return fmt.Errorf("array is %s", last)
+	}
+	return nil
+}
+
+// watchRound performs one poll: fetch health and alerts, render both.
+func watchRound(client *http.Client, base string, w io.Writer) (monitor.Verdict, error) {
+	var h monitor.Health
+	if err := getAPI(client, base+"/api/v1/health", &h); err != nil {
+		return monitor.Healthy, err
+	}
+	var ar monitor.AlertsResponse
+	if err := getAPI(client, base+"/api/v1/alerts", &ar); err != nil {
+		return monitor.Healthy, err
+	}
+
+	fmt.Fprintf(w, "%s  health: %s  (%d firing, %d pending)\n",
+		h.At.Format(time.RFC3339), h.Verdict, h.Firing, h.Pending)
+	targets := make([]string, 0, len(h.Targets))
+	for name := range h.Targets {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	for _, name := range targets {
+		if v := h.Targets[name]; v != monitor.Healthy {
+			fmt.Fprintf(w, "  %-10s %s\n", name, v)
+		}
+	}
+	for _, r := range h.Reasons {
+		fmt.Fprintf(w, "  - [%s] %s: %s\n", r.Severity, r.Target, r.Detail)
+	}
+	for _, a := range ar.Alerts {
+		if a.State == monitor.StateOK {
+			continue
+		}
+		fmt.Fprintf(w, "  ! %s %s on %s (value %.4g, since %s, trace %s)\n",
+			a.Rule.Name, a.State, a.Rule.Metric, a.Value,
+			a.Since.Format(time.RFC3339), a.Trace)
+	}
+	return h.Verdict, nil
+}
+
+// getAPI fetches one JSON endpoint into out.
+func getAPI(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("watch: %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch: %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("watch: %s: bad JSON: %w", url, err)
+	}
+	return nil
+}

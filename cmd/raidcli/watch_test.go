@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/obs"
+)
+
+// watchServer serves a real monitoring plane over httptest: a registry,
+// a monitor with one threshold rule, manually ticked.
+func watchServer(t *testing.T) (*httptest.Server, *obs.Registry, *monitor.Monitor, func()) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	now := time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC)
+	mon, err := monitor.New(monitor.Config{
+		Registry: reg,
+		Window:   32,
+		Rules: []monitor.Rule{{
+			Name: "quarantines", Metric: "shard.quarantine.total",
+			Kind: monitor.RuleThreshold, Op: ">", Value: 0,
+			Window: monitor.Duration(time.Minute), Severity: monitor.SeverityCritical,
+		}},
+		Tracer: obs.NewTracer(obs.NewFlightRecorder(32)),
+		Now:    func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() {
+		mon.Tick()
+		now = now.Add(time.Second)
+	}
+	mux := http.NewServeMux()
+	mon.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, reg, mon, tick
+}
+
+// TestWatchHealthy: one poll of a quiet array prints a healthy line and
+// exits 0.
+func TestWatchHealthy(t *testing.T) {
+	srv, _, _, tick := watchServer(t)
+	tick()
+
+	var buf bytes.Buffer
+	client := srv.Client()
+	v, err := watchRound(client, srv.URL, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != monitor.Healthy {
+		t.Errorf("verdict = %v, want healthy", v)
+	}
+	if out := buf.String(); !bytes.Contains([]byte(out), []byte("health: healthy")) {
+		t.Errorf("watch output %q missing healthy line", out)
+	}
+
+	// The full subcommand path: -n 1 against a healthy array exits clean.
+	if err := run("watch", []string{"-url", srv.URL, "-n", "1"}); err != nil {
+		t.Errorf("watch -n 1 on healthy array: %v", err)
+	}
+}
+
+// TestWatchDegraded: a firing alert renders the alert line, the reasons,
+// and makes the subcommand exit non-zero — the health-probe contract.
+func TestWatchDegraded(t *testing.T) {
+	srv, reg, _, tick := watchServer(t)
+	tick()
+	reg.Count("shard.quarantine.total", 2)
+	tick()
+
+	var buf bytes.Buffer
+	v, err := watchRound(srv.Client(), srv.URL, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != monitor.Critical {
+		t.Fatalf("verdict = %v, want critical (output %s)", v, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"health: critical",
+		"quarantines firing",
+		"shard.quarantine.total",
+		"trace ",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+
+	err = run("watch", []string{"-url", srv.URL, "-n", "2", "-interval", "1ms"})
+	if err == nil {
+		t.Fatal("watch on a critical array exited clean, want failure")
+	}
+	if exitCode(err) != exitFail {
+		t.Errorf("exit code = %d, want %d", exitCode(err), exitFail)
+	}
+}
+
+// TestWatchUsageAndErrors: flag misuse exits 64, unreachable or broken
+// servers exit 1.
+func TestWatchUsageAndErrors(t *testing.T) {
+	if err := run("watch", []string{"-bogus"}); exitCode(err) != exitUsage {
+		t.Errorf("bad flag: exit %d, want %d", exitCode(err), exitUsage)
+	}
+	if err := run("watch", []string{"extra"}); exitCode(err) != exitUsage {
+		t.Errorf("positional arg: exit %d, want %d", exitCode(err), exitUsage)
+	}
+
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close()
+	if err := run("watch", []string{"-url", down.URL, "-n", "1"}); exitCode(err) != exitFail {
+		t.Errorf("dead server: exit %d, want %d", exitCode(err), exitFail)
+	}
+
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer broken.Close()
+	if err := run("watch", []string{"-url", broken.URL, "-n", "1"}); exitCode(err) != exitFail {
+		t.Errorf("bad JSON: exit %d, want %d", exitCode(err), exitFail)
+	}
+}

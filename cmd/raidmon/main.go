@@ -7,6 +7,9 @@
 //	/debug/pprof/   Go runtime profiling
 //	/debug/flight   flight-recorder ring: the last N causal events
 //	                (?trace=<hex> filters one trace, ?n= caps the tail)
+//	/api/v1/query   time-series ring store (?metric=, &fn=range|rate|increase|avg|max|last, &window=)
+//	/api/v1/alerts  rule-engine state: every alert with its transitions and trace
+//	/api/v1/health  array health verdict with per-target reasons
 //
 // The workload driver alternates write traffic with fault episodes —
 // disk failures, degraded reads, rebuilds, silent corruption, scrubs —
@@ -19,6 +22,7 @@
 //	raidmon [-addr :8080] [-code liberation] [-k 8] [-p 0] [-elem 1024]
 //	        [-stripes 64] [-workload zipf-small] [-write-size 0]
 //	        [-duration 0] [-seed 1] [-flight 256]
+//	        [-sample-interval 1s] [-rules alerts.json] [-window 600]
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/codes"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/raidsim"
 	"repro/internal/workload"
@@ -47,19 +52,23 @@ type config struct {
 	workload  string
 	writeSize int
 	seed      int64
-	flight    int // flight-recorder ring size (0 = default)
+	flight    int           // flight-recorder ring size (0 = default)
+	interval  time.Duration // monitor sampling interval (0 = default)
+	rules     string        // alert rules file ("" = built-in defaults)
+	window    int           // time-series ring size in samples (0 = default)
 }
 
-// monitor owns the array, its registry, and the HTTP surface. The
+// server owns the array, its registry, and the HTTP surface. The
 // workload driver (step) is single-threaded — the array is not safe for
 // concurrent mutation — while the HTTP handlers only read the registry,
 // which is.
-type monitor struct {
+type server struct {
 	cfg    config
 	arr    *raidsim.Array
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	flight *obs.FlightRecorder
+	mon    *monitor.Monitor
 	mux    *http.ServeMux
 	rng    *rand.Rand
 	next   func() int // workload offset generator
@@ -67,7 +76,7 @@ type monitor struct {
 	step   int
 }
 
-func newMonitor(cfg config) (*monitor, error) {
+func newMonitor(cfg config) (*server, error) {
 	code, err := codes.New(cfg.codeName, cfg.k, cfg.p)
 	if err != nil {
 		return nil, err
@@ -80,7 +89,7 @@ func newMonitor(cfg config) (*monitor, error) {
 	arr.Instrument(reg)
 
 	flight := obs.NewFlightRecorder(cfg.flight)
-	m := &monitor{
+	m := &server{
 		cfg:    cfg,
 		arr:    arr,
 		reg:    reg,
@@ -127,15 +136,36 @@ func newMonitor(cfg config) (*monitor, error) {
 		return nil, err
 	}
 
+	// The monitoring plane: sample the registry on an interval, evaluate
+	// alert rules, and serve queries, alerts, and health over /api/v1.
+	rules := monitor.DefaultRules()
+	if cfg.rules != "" {
+		if rules, err = monitor.LoadRules(cfg.rules); err != nil {
+			return nil, err
+		}
+	}
+	m.mon, err = monitor.New(monitor.Config{
+		Registry: reg,
+		Interval: cfg.interval,
+		Window:   cfg.window,
+		Rules:    rules,
+		Tracer:   m.tracer,
+		Runtime:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	m.mux = obs.NewMux(reg)
 	m.mux.Handle("/debug/flight", obs.FlightHandler(flight))
+	m.mon.Register(m.mux)
 	m.mux.HandleFunc("/", m.handleIndex)
 	return m, nil
 }
 
 // handleIndex serves a small human-readable front page: the array shape
 // plus the current text snapshot.
-func (m *monitor) handleIndex(w http.ResponseWriter, r *http.Request) {
+func (m *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
@@ -149,7 +179,7 @@ func (m *monitor) handleIndex(w http.ResponseWriter, r *http.Request) {
 // runStep advances the simulation: a burst of workload writes and reads,
 // and periodically a fault episode (every 20th step a fail+rebuild,
 // every 50th a corrupt+scrub). Returns the first error encountered.
-func (m *monitor) runStep() error {
+func (m *server) runStep() error {
 	for i := 0; i < 32; i++ {
 		m.rng.Read(m.buf)
 		if err := m.arr.Write(m.next(), m.buf); err != nil {
@@ -177,7 +207,7 @@ func (m *monitor) runStep() error {
 // scrubEpisode injects silent corruption and scrubs it out, under one
 // causal trace: the corruption and the scrub's repair count land in the
 // flight recorder as children of a raid.episode.scrub span.
-func (m *monitor) scrubEpisode() (err error) {
+func (m *server) scrubEpisode() (err error) {
 	victim := m.rng.Intn(m.arr.NumDisks())
 	ctx, sp := obs.StartOp(context.Background(), m.tracer, m.reg, "raid.episode.scrub",
 		slog.Int("step", m.step), slog.Int("disk", victim))
@@ -199,7 +229,7 @@ func (m *monitor) scrubEpisode() (err error) {
 // rebuildEpisode fails a disk, serves a degraded read, and rebuilds —
 // one trace per episode, so /debug/flight?trace= replays the whole
 // failure story.
-func (m *monitor) rebuildEpisode(rd []byte) (err error) {
+func (m *server) rebuildEpisode(rd []byte) (err error) {
 	victim := m.rng.Intn(m.arr.NumDisks())
 	ctx, sp := obs.StartOp(context.Background(), m.tracer, m.reg, "raid.episode.rebuild",
 		slog.Int("step", m.step), slog.Int("disk", victim))
@@ -233,16 +263,24 @@ func main() {
 		duration = flag.Duration("duration", 0, "stop after this long (0 = run until killed)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		flight   = flag.Int("flight", obs.DefaultFlightSize, "flight-recorder ring size (events)")
+		interval = flag.Duration("sample-interval", monitor.DefaultInterval, "monitoring plane sampling interval")
+		rules    = flag.String("rules", "", "alert rules JSON file (default: built-in rules)")
+		window   = flag.Int("window", monitor.DefaultWindow, "time-series ring size in samples")
 	)
 	flag.Parse()
 
 	m, err := newMonitor(config{
 		codeName: *codeName, k: *k, p: *p, elem: *elem, stripes: *stripes,
 		workload: *wl, writeSize: *wsize, seed: *seed, flight: *flight,
+		interval: *interval, rules: *rules, window: *window,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.mon.Run(ctx)
 
 	go func() {
 		log.Printf("raidmon: serving /metrics and /debug/pprof on %s", *addr)

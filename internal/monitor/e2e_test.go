@@ -1,0 +1,386 @@
+package monitor_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/store/faultstore"
+)
+
+// fakeClock is the injectable clock driving the monitoring plane in
+// these tests: every tick is exactly one second, no wall time involved.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) Now() time.Time { return c.t }
+func (c *fakeClock) Step()          { c.t = c.t.Add(time.Second) }
+
+// encodeBlob encodes a deterministic test file into dir and returns the
+// manifest path.
+func encodeBlob(t *testing.T, dir string) string {
+	t.Helper()
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(42)).Read(data)
+	_, err := shard.EncodeOpts(bytes.NewReader(data), int64(len(data)), "blob.bin",
+		3, 0, 512, dir, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, shard.ManifestName("blob.bin"))
+}
+
+// noSleep is the injected retry pacer: backoff accounting without wall
+// time.
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// TestAlertLadderEndToEnd is the acceptance test for the monitoring
+// plane: a seeded fault schedule makes a shard decode retry transient
+// I/O errors, the sampled retry counter drives a burn-rate rule through
+// ok → pending → firing → resolved on an injectable clock, the health
+// verdict degrades with reasons naming the triggering counters, and
+// every transition lands in the event log and flight recorder under one
+// correlated trace.
+func TestAlertLadderEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	manifest := encodeBlob(t, dir)
+
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	eventLog := obs.NewEventLog(&logBuf, slog.LevelInfo)
+	flight := obs.NewFlightRecorder(256)
+	tracer := obs.NewTracer(flight, eventLog)
+	tracer.Seed(7)
+
+	clock := newFakeClock()
+	mon, err := monitor.New(monitor.Config{
+		Registry: reg,
+		Interval: time.Second,
+		Window:   64,
+		Rules: []monitor.Rule{{
+			Name: "retry-burn", Metric: "shard.retry.total",
+			Kind: monitor.RuleRate, Op: ">", Value: 0.1,
+			Window:   monitor.Duration(8 * time.Second),
+			For:      monitor.Duration(2 * time.Second),
+			Severity: monitor.SeverityWarning,
+		}},
+		Tracer:       tracer,
+		Now:          clock.Now,
+		HealthWindow: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() []monitor.Transition {
+		out := mon.Tick()
+		clock.Step()
+		return out
+	}
+
+	// Two quiet rounds: everything healthy, nothing pending.
+	for i := 0; i < 2; i++ {
+		if tr := tick(); len(tr) != 0 {
+			t.Fatalf("quiet round %d produced transitions %+v", i, tr)
+		}
+	}
+	if h := mon.Health(); h.Verdict != monitor.Healthy {
+		t.Fatalf("quiet health = %+v, want healthy", h)
+	}
+
+	// A decode under a seeded fault schedule: the first four shard reads
+	// fail transiently, are retried, and the decode succeeds — exactly
+	// the "slowly degrading array" signature: correct answers, rising
+	// retry counters.
+	chaos := faultstore.New(store.OS{}, faultstore.Config{
+		Seed:     99,
+		Rules:    []faultstore.Rule{{Op: faultstore.OpRead, Kind: faultstore.Transient, Prob: 1, Count: 4, Path: ".shard."}},
+		Registry: reg,
+	})
+	if _, err := shard.DecodeReport(manifest, io.Discard, shard.Options{
+		Registry: reg,
+		Tracer:   tracer,
+		Store:    chaos,
+		Retry:    store.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Nanosecond, Sleep: noSleep},
+	}); err != nil {
+		t.Fatalf("chaos decode failed (should be fully recovered by retries): %v", err)
+	}
+	if got := reg.Counter("shard.retry.total").Value(); got != 4 {
+		t.Fatalf("shard.retry.total = %d, want exactly 4 (seeded schedule)", got)
+	}
+
+	// The next sample sees the retry burst: rate 4/8s > 0.1 → pending.
+	pend := tick()
+	if len(pend) != 1 || pend[0].To != "pending" || pend[0].Rule != "retry-burn" {
+		t.Fatalf("post-burst transitions = %+v, want retry-burn:pending", pend)
+	}
+	trace := pend[0].Trace
+	if trace == "" {
+		t.Fatal("pending transition carries no trace ID")
+	}
+
+	// One second in: still pending (For = 2s).
+	if tr := tick(); len(tr) != 0 {
+		t.Fatalf("mid-hysteresis transitions = %+v, want none", tr)
+	}
+
+	// Two seconds in: fires.
+	fire := tick()
+	if len(fire) != 1 || fire[0].To != "firing" || fire[0].Trace != trace {
+		t.Fatalf("transitions = %+v, want retry-burn:firing on trace %s", fire, trace)
+	}
+
+	// While firing: degraded verdict with reasons naming the counters
+	// that triggered it.
+	h := mon.Health()
+	if h.Verdict != monitor.Degraded {
+		t.Fatalf("firing health = %v, want degraded (%+v)", h.Verdict, h.Reasons)
+	}
+	if h.Firing != 1 {
+		t.Fatalf("health reports %d firing alerts, want 1", h.Firing)
+	}
+	var metrics []string
+	for _, r := range h.Reasons {
+		metrics = append(metrics, r.Metric)
+	}
+	joined := strings.Join(metrics, " ")
+	for _, want := range []string{"shard.retry.total", "faultstore.injected.total"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("health reasons name %v, missing %s", metrics, want)
+		}
+	}
+
+	// The burst ages out of the 8s rate window → resolved.
+	var resolved []monitor.Transition
+	for i := 0; i < 12 && len(resolved) == 0; i++ {
+		resolved = tick()
+	}
+	if len(resolved) != 1 || resolved[0].To != "resolved" || resolved[0].Trace != trace {
+		t.Fatalf("transitions = %+v, want retry-burn:resolved on trace %s", resolved, trace)
+	}
+	if h := mon.Health(); h.Verdict != monitor.Healthy {
+		t.Fatalf("post-resolution health = %v (%+v), want healthy", h.Verdict, h.Reasons)
+	}
+
+	// Event log: every transition event is present, trace-correlated
+	// with the alert episode.
+	wantEvents := map[string]bool{
+		"monitor.alert.pending":  false,
+		"monitor.alert.firing":   false,
+		"monitor.alert.resolved": false,
+		"monitor.alert":          false, // the episode root span
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event log line not JSON: %v\n%s", err, line)
+		}
+		name, _ := ev["msg"].(string)
+		if _, tracked := wantEvents[name]; !tracked {
+			continue
+		}
+		if ev["trace"] != trace {
+			t.Errorf("%s logged on trace %v, want %s", name, ev["trace"], trace)
+		}
+		if name != "monitor.alert" && ev["rule"] != "retry-burn" {
+			t.Errorf("%s carries rule %v, want retry-burn", name, ev["rule"])
+		}
+		wantEvents[name] = true
+	}
+	for name, seen := range wantEvents {
+		if !seen {
+			t.Errorf("event log missing %s", name)
+		}
+	}
+
+	// Flight recorder: the alert episode replays by trace ID.
+	var id obs.TraceID
+	if _, err := fmtSscanTrace(trace, &id); err != nil {
+		t.Fatal(err)
+	}
+	if tail := flight.Tail(id, 0); len(tail) < 3 {
+		t.Errorf("flight tail for alert trace holds %d events, want >= 3", len(tail))
+	}
+}
+
+// fmtSscanTrace parses a 16-hex-digit trace ID string.
+func fmtSscanTrace(s string, id *obs.TraceID) (int, error) {
+	var v uint64
+	n, err := fmtSscanHex(s, &v)
+	*id = obs.TraceID(v)
+	return n, err
+}
+
+func fmtSscanHex(s string, v *uint64) (int, error) {
+	var parsed uint64
+	for _, r := range s {
+		parsed <<= 4
+		switch {
+		case r >= '0' && r <= '9':
+			parsed |= uint64(r - '0')
+		case r >= 'a' && r <= 'f':
+			parsed |= uint64(r-'a') + 10
+		default:
+			return 0, &strconvError{s}
+		}
+	}
+	*v = parsed
+	return len(s), nil
+}
+
+type strconvError struct{ s string }
+
+func (e *strconvError) Error() string { return "bad trace id " + e.s }
+
+// TestMonitorChaosSoak is the make monitor-soak gate: a seeded
+// faultstore chaos schedule across repeated decodes must drive an alert
+// to firing and, once the chaos stops, back to resolved — and the
+// health verdict must recover with it. Fully deterministic: fake clock,
+// injected retry pacer, seeded fault schedule.
+func TestMonitorChaosSoak(t *testing.T) {
+	dir := t.TempDir()
+	manifest := encodeBlob(t, dir)
+
+	reg := obs.NewRegistry()
+	flight := obs.NewFlightRecorder(512)
+	tracer := obs.NewTracer(flight)
+	tracer.Seed(11)
+	clock := newFakeClock()
+	mon, err := monitor.New(monitor.Config{
+		Registry: reg,
+		Interval: time.Second,
+		Window:   128,
+		Rules: []monitor.Rule{{
+			Name: "injected-faults", Metric: "faultstore.injected.total",
+			Kind: monitor.RuleRate, Op: ">", Value: 0.05,
+			Window:   monitor.Duration(10 * time.Second),
+			For:      monitor.Duration(3 * time.Second),
+			Severity: monitor.SeverityCritical,
+		}},
+		Tracer:       tracer,
+		Now:          clock.Now,
+		HealthWindow: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := faultstore.New(store.OS{}, faultstore.Config{
+		Seed: 1234,
+		Rules: []faultstore.Rule{
+			{Op: faultstore.OpRead, Kind: faultstore.Transient, Prob: 0.15},
+		},
+		Registry: reg,
+	})
+	decode := func(st store.Store) {
+		t.Helper()
+		if _, err := shard.DecodeReport(manifest, io.Discard, shard.Options{
+			Registry: reg,
+			Store:    st,
+			Retry:    store.RetryPolicy{MaxAttempts: 20, BaseBackoff: time.Nanosecond, Sleep: noSleep},
+		}); err != nil {
+			t.Fatalf("soak decode failed: %v", err)
+		}
+	}
+
+	var seq []string
+	soak := func(rounds int, st store.Store) {
+		for i := 0; i < rounds; i++ {
+			if st != nil {
+				decode(st)
+			}
+			for _, tr := range mon.Tick() {
+				seq = append(seq, tr.To)
+			}
+			clock.Step()
+		}
+	}
+
+	soak(3, nil)   // quiet warm-up
+	soak(6, chaos) // chaos: every round decodes under the fault schedule
+	if got := strings.Join(seq, " "); got != "pending firing" {
+		t.Fatalf("chaos phase transitions = %q, want \"pending firing\"", got)
+	}
+	if h := mon.Health(); h.Verdict != monitor.Critical {
+		t.Fatalf("chaos health = %v, want critical (critical rule firing)", h.Verdict)
+	}
+
+	soak(15, nil) // chaos stops; the burst ages out of every window
+	if got := strings.Join(seq, " "); got != "pending firing resolved" {
+		t.Fatalf("full soak transitions = %q, want \"pending firing resolved\"", got)
+	}
+	if h := mon.Health(); h.Verdict != monitor.Healthy {
+		t.Fatalf("post-soak health = %v (%+v), want healthy", h.Verdict, h.Reasons)
+	}
+	if flight.Total() == 0 {
+		t.Error("soak recorded no flight events")
+	}
+}
+
+// TestTransitionEventLogStable: the monitor's transition events render
+// byte-identically across two identical runs (modulo timestamps) — the
+// EventLog key-order guarantee extends to the new event family.
+func TestTransitionEventLogStable(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(obs.NewEventLog(&buf, slog.LevelInfo))
+		tracer.Seed(5)
+		clock := newFakeClock()
+		mon, err := monitor.New(monitor.Config{
+			Registry: reg,
+			Window:   16,
+			Rules: []monitor.Rule{{
+				Name: "r", Metric: "c.total", Kind: monitor.RuleThreshold,
+				Op: ">", Value: 0, Window: monitor.Duration(2 * time.Second),
+			}},
+			Tracer: tracer,
+			Now:    clock.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon.Tick()
+		clock.Step()
+		reg.Count("c.total", 3)
+		mon.Tick() // pending + firing
+		clock.Step()
+		mon.Tick()
+		clock.Step()
+		mon.Tick() // resolved once the increase ages out
+		// Strip the wall-clock timestamp and duration fields, which
+		// legitimately differ between runs; everything else must not.
+		var out []string
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			i := strings.Index(line, `"msg"`)
+			if i < 0 {
+				t.Fatalf("log line without msg: %s", line)
+			}
+			stable := line[i:]
+			if j := strings.Index(stable, `"dur"`); j >= 0 {
+				stable = stable[:j]
+			}
+			out = append(out, stable)
+		}
+		return strings.Join(out, "\n")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("transition event log not byte-stable across identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "monitor.alert.firing") || !strings.Contains(a, "monitor.alert.resolved") {
+		t.Errorf("log missing transition events:\n%s", a)
+	}
+}

@@ -1,0 +1,139 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestHealthHealthy: no alerts, no counter movement → healthy, no
+// reasons.
+func TestHealthHealthy(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(8)
+	c := newClock()
+	reg.Count("shard.retry.total", 0)
+	sample(ts, reg, c)
+	h := Score(ts, nil, time.Minute, c.Now())
+	if h.Verdict != Healthy || len(h.Reasons) != 0 {
+		t.Errorf("health = %+v, want healthy with no reasons", h)
+	}
+	if h.Targets["array"] != Healthy {
+		t.Errorf("array target = %v, want healthy", h.Targets["array"])
+	}
+}
+
+// TestHealthDegradedFromLadder: movement on a degradation-ladder
+// counter degrades the verdict and names the counter in the reason.
+func TestHealthDegradedFromLadder(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(8)
+	c := newClock()
+	sample(ts, reg, c)
+	c.Advance(time.Second)
+	reg.Count("shard.quarantine.total", 2)
+	reg.Count("faultstore.injected.total", 5)
+	sample(ts, reg, c)
+	h := Score(ts, nil, time.Minute, c.Now())
+	if h.Verdict != Degraded {
+		t.Fatalf("verdict = %v, want degraded", h.Verdict)
+	}
+	var named []string
+	for _, r := range h.Reasons {
+		named = append(named, r.Metric)
+		if !strings.Contains(r.Detail, r.Metric) {
+			t.Errorf("reason detail %q does not name its metric %q", r.Detail, r.Metric)
+		}
+	}
+	joined := strings.Join(named, " ")
+	for _, want := range []string{"shard.quarantine.total", "faultstore.injected.total"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("reasons %v missing %s", named, want)
+		}
+	}
+}
+
+// TestHealthCriticalFromLadder: retry exhaustion is critical.
+func TestHealthCriticalFromLadder(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(8)
+	c := newClock()
+	sample(ts, reg, c)
+	c.Advance(time.Second)
+	reg.Count("shard.retry.exhausted", 1)
+	sample(ts, reg, c)
+	h := Score(ts, nil, time.Minute, c.Now())
+	if h.Verdict != Critical {
+		t.Errorf("verdict = %v, want critical", h.Verdict)
+	}
+}
+
+// TestHealthFromAlerts: firing alerts set the verdict by severity;
+// pending alerts count but do not change it.
+func TestHealthFromAlerts(t *testing.T) {
+	warn := []Alert{{Rule: Rule{Name: "w", Metric: "m", Severity: SeverityWarning}, State: StateFiring}}
+	h := Score(nil, warn, time.Minute, time.Now())
+	if h.Verdict != Degraded || h.Firing != 1 {
+		t.Errorf("warning firing → %v (firing %d), want degraded/1", h.Verdict, h.Firing)
+	}
+	crit := []Alert{{Rule: Rule{Name: "c", Metric: "m", Severity: SeverityCritical}, State: StateFiring}}
+	if h = Score(nil, crit, time.Minute, time.Now()); h.Verdict != Critical {
+		t.Errorf("critical firing → %v, want critical", h.Verdict)
+	}
+	pend := []Alert{{Rule: Rule{Name: "p", Metric: "m"}, State: StatePending}}
+	if h = Score(nil, pend, time.Minute, time.Now()); h.Verdict != Healthy || h.Pending != 1 {
+		t.Errorf("pending → %v (pending %d), want healthy/1", h.Verdict, h.Pending)
+	}
+}
+
+// TestHealthPerDiskTargets: per-disk scrub repair counters indict their
+// disk, and the array inherits the worst target verdict.
+func TestHealthPerDiskTargets(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(8)
+	c := newClock()
+	sample(ts, reg, c)
+	c.Advance(time.Second)
+	reg.Count("raid.scrub.repairs.disk.3", 4)
+	sample(ts, reg, c)
+	h := Score(ts, nil, time.Minute, c.Now())
+	if h.Targets["disk.3"] != Degraded {
+		t.Errorf("disk.3 target = %v, want degraded (targets %v)", h.Targets["disk.3"], h.Targets)
+	}
+	if h.Targets["array"] != Degraded || h.Verdict != Degraded {
+		t.Errorf("array = %v verdict = %v, want degraded", h.Targets["array"], h.Verdict)
+	}
+	found := false
+	for _, r := range h.Reasons {
+		if r.Target == "disk.3" && strings.Contains(r.Detail, "disk 3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no per-disk reason in %+v", h.Reasons)
+	}
+}
+
+// TestHealthOldMovementAgesOut: counter movement outside the window no
+// longer degrades.
+func TestHealthOldMovementAgesOut(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(64)
+	c := newClock()
+	sample(ts, reg, c)
+	c.Advance(time.Second)
+	reg.Count("shard.quarantine.total", 1)
+	sample(ts, reg, c)
+	if h := Score(ts, nil, 10*time.Second, c.Now()); h.Verdict != Degraded {
+		t.Fatalf("fresh movement → %v, want degraded", h.Verdict)
+	}
+	for i := 0; i < 15; i++ {
+		c.Advance(time.Second)
+		sample(ts, reg, c)
+	}
+	if h := Score(ts, nil, 10*time.Second, c.Now()); h.Verdict != Healthy {
+		t.Errorf("aged movement → %v (%+v), want healthy", h.Verdict, h.Reasons)
+	}
+}

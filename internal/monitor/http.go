@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// The monitoring plane's HTTP surface, mounted under /api/v1:
+//
+//	/api/v1/query   one series: range fetch or windowed aggregation
+//	/api/v1/alerts  every rule's current state
+//	/api/v1/health  the current health verdict with reasons
+//
+// Everything is JSON; queries are safe to run while the monitor ticks.
+
+// QueryResponse is the /api/v1/query payload: Points for fn=range,
+// Value for the scalar aggregations.
+type QueryResponse struct {
+	Metric string   `json:"metric"`
+	Kind   string   `json:"kind"`
+	Fn     string   `json:"fn"`
+	Window Duration `json:"window,omitempty"`
+	Points []Point  `json:"points,omitempty"`
+	Value  *float64 `json:"value,omitempty"`
+}
+
+// AlertsResponse is the /api/v1/alerts payload.
+type AlertsResponse struct {
+	Alerts  []Alert `json:"alerts"`
+	Firing  int     `json:"firing"`
+	Pending int     `json:"pending"`
+}
+
+// Register mounts the API endpoints onto mux.
+func (m *Monitor) Register(mux *http.ServeMux) {
+	mux.Handle("/api/v1/query", m.QueryHandler())
+	mux.Handle("/api/v1/alerts", m.AlertsHandler())
+	mux.Handle("/api/v1/health", m.HealthHandler())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// QueryHandler serves one series per request:
+//
+//	?metric=NAME            required: the series name
+//	&fn=range|rate|increase|avg|max|last   default range
+//	&window=30s             aggregation window (scalar fns; also caps range)
+//
+// Unknown metrics return 404 so a dashboard can distinguish "no such
+// series" from "series at zero".
+func (m *Monitor) QueryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		name := req.URL.Query().Get("metric")
+		if name == "" {
+			http.Error(w, "missing ?metric=", http.StatusBadRequest)
+			return
+		}
+		fn := req.URL.Query().Get("fn")
+		if fn == "" {
+			fn = "range"
+		}
+		var window time.Duration
+		if ws := req.URL.Query().Get("window"); ws != "" {
+			var err error
+			if window, err = time.ParseDuration(ws); err != nil {
+				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		kind, exists := m.ts.Kind(name)
+		if !exists {
+			http.Error(w, "unknown metric "+name, http.StatusNotFound)
+			return
+		}
+		now := m.ts.LastSample()
+		resp := QueryResponse{Metric: name, Kind: kind.String(), Fn: fn, Window: Duration(window)}
+		scalar := func(v float64, ok bool) {
+			if ok {
+				resp.Value = &v
+			}
+		}
+		switch fn {
+		case "range":
+			var from time.Time
+			if window > 0 {
+				from = now.Add(-window)
+			}
+			pts, _, _ := m.ts.Range(name, from, time.Time{})
+			if pts == nil {
+				pts = []Point{}
+			}
+			resp.Points = pts
+		case "rate":
+			scalar(m.ts.Rate(name, window, now))
+		case "increase":
+			scalar(m.ts.Increase(name, window, now))
+		case "avg":
+			scalar(m.ts.Avg(name, window, now))
+		case "max":
+			scalar(m.ts.Max(name, window, now))
+		case "last":
+			if p, ok := m.ts.Last(name); ok {
+				resp.Value = &p.V
+			}
+		default:
+			http.Error(w, "unknown fn "+fn, http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	})
+}
+
+// AlertsHandler serves every rule's current state.
+func (m *Monitor) AlertsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		alerts := m.Alerts()
+		resp := AlertsResponse{Alerts: alerts}
+		for _, a := range alerts {
+			switch a.State {
+			case StateFiring:
+				resp.Firing++
+			case StatePending:
+				resp.Pending++
+			}
+		}
+		writeJSON(w, resp)
+	})
+}
+
+// HealthHandler serves the current health verdict.
+func (m *Monitor) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, m.Health())
+	})
+}

@@ -1,0 +1,239 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newTestMonitor builds a monitor over a live registry with a fake
+// clock and one rate rule, ticked manually.
+func newTestMonitor(t *testing.T, rules []Rule) (*Monitor, *obs.Registry, *clock) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c := newClock()
+	m, err := New(Config{
+		Registry: reg,
+		Interval: time.Second,
+		Window:   64,
+		Rules:    rules,
+		Tracer:   obs.NewTracer(obs.NewFlightRecorder(64)),
+		Now:      c.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, reg, c
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %v\n%s", path, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestQueryEndpoint covers every fn plus the error paths.
+func TestQueryEndpoint(t *testing.T) {
+	m, reg, c := newTestMonitor(t, nil)
+	for i := 0; i < 3; i++ {
+		reg.Count("io.total", 4)
+		reg.SetGauge("depth", float64(i))
+		m.Tick()
+		c.Advance(time.Second)
+	}
+	mux := http.NewServeMux()
+	m.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var qr QueryResponse
+	if code := getJSON(t, srv, "/api/v1/query?metric=io.total", &qr); code != 200 {
+		t.Fatalf("range query: status %d", code)
+	}
+	if qr.Kind != "counter" || qr.Fn != "range" || len(qr.Points) != 3 {
+		t.Errorf("range response = %+v, want 3 counter points", qr)
+	}
+	if qr.Points[0].V != 4 || qr.Points[1].V != 4 {
+		t.Errorf("points hold %v, want per-interval deltas of 4", qr.Points)
+	}
+
+	if getJSON(t, srv, "/api/v1/query?metric=io.total&fn=rate&window=2s", &qr); qr.Value == nil || *qr.Value != 4 {
+		t.Errorf("rate = %v, want 4/s (8 over 2s)", qr.Value)
+	}
+	if getJSON(t, srv, "/api/v1/query?metric=io.total&fn=increase&window=2s", &qr); *qr.Value != 8 {
+		t.Errorf("increase = %v, want 8", *qr.Value)
+	}
+	if getJSON(t, srv, "/api/v1/query?metric=depth&fn=last", &qr); *qr.Value != 2 {
+		t.Errorf("last = %v, want 2", *qr.Value)
+	}
+	if getJSON(t, srv, "/api/v1/query?metric=depth&fn=max&window=1m", &qr); *qr.Value != 2 {
+		t.Errorf("max = %v, want 2", *qr.Value)
+	}
+	if getJSON(t, srv, "/api/v1/query?metric=depth&fn=avg&window=1m", &qr); *qr.Value != 1 {
+		t.Errorf("avg = %v, want 1", *qr.Value)
+	}
+
+	if code := getJSON(t, srv, "/api/v1/query", nil); code != 400 {
+		t.Errorf("missing metric: status %d, want 400", code)
+	}
+	if code := getJSON(t, srv, "/api/v1/query?metric=nope", nil); code != 404 {
+		t.Errorf("unknown metric: status %d, want 404", code)
+	}
+	if code := getJSON(t, srv, "/api/v1/query?metric=depth&fn=bogus", nil); code != 400 {
+		t.Errorf("unknown fn: status %d, want 400", code)
+	}
+	if code := getJSON(t, srv, "/api/v1/query?metric=depth&window=never", nil); code != 400 {
+		t.Errorf("bad window: status %d, want 400", code)
+	}
+}
+
+// TestAlertsAndHealthEndpoints drive a rule to firing and check both
+// endpoints report it, with the health reasons naming the metric.
+func TestAlertsAndHealthEndpoints(t *testing.T) {
+	m, reg, c := newTestMonitor(t, []Rule{{
+		Name: "q-growth", Metric: "shard.quarantine.total",
+		Kind: RuleThreshold, Op: ">", Value: 0,
+		Window: Duration(time.Minute), Severity: SeverityCritical,
+	}})
+	mux := http.NewServeMux()
+	m.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	m.Tick()
+	c.Advance(time.Second)
+
+	var ar AlertsResponse
+	getJSON(t, srv, "/api/v1/alerts", &ar)
+	if len(ar.Alerts) != 1 || ar.Alerts[0].State != StateOK || ar.Firing != 0 {
+		t.Fatalf("quiet alerts = %+v", ar)
+	}
+	var h Health
+	getJSON(t, srv, "/api/v1/health", &h)
+	if h.Verdict != Healthy {
+		t.Fatalf("quiet health = %+v", h)
+	}
+
+	reg.Count("shard.quarantine.total", 1)
+	m.Tick()
+
+	getJSON(t, srv, "/api/v1/alerts", &ar)
+	if ar.Firing != 1 || ar.Alerts[0].State != StateFiring || ar.Alerts[0].Trace == "" {
+		t.Fatalf("firing alerts = %+v, want one firing with a trace", ar)
+	}
+	getJSON(t, srv, "/api/v1/health", &h)
+	if h.Verdict != Critical {
+		t.Fatalf("health verdict = %v, want critical (alert + ladder)", h.Verdict)
+	}
+	found := false
+	for _, r := range h.Reasons {
+		if r.Metric == "shard.quarantine.total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("health reasons %+v never name shard.quarantine.total", h.Reasons)
+	}
+}
+
+// TestConcurrentScrapeWhileSampling hammers every API endpoint while
+// the monitor ticks and the workload mutates the registry. Under -race
+// this pins the locking of the store, engine, and health scorer.
+func TestConcurrentScrapeWhileSampling(t *testing.T) {
+	m, reg, c := newTestMonitor(t, DefaultRules())
+	mux := http.NewServeMux()
+	m.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{
+		"/api/v1/health",
+		"/api/v1/alerts",
+		"/api/v1/query?metric=shard.retry.total&fn=rate&window=5s",
+		"/api/v1/query?metric=shard.retry.total",
+	} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := srv.Client().Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				if resp.StatusCode == http.StatusOK {
+					var v map[string]any
+					if err := json.Unmarshal(body, &v); err != nil {
+						t.Errorf("%s: torn JSON: %v", path, err)
+						return
+					}
+				}
+			}
+		}(path)
+	}
+
+	for i := 0; i < 200; i++ {
+		reg.Count("shard.retry.total", uint64(i%3))
+		reg.SetGauge("depth", float64(i))
+		m.Tick()
+		c.Advance(100 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	if m.Store().Rounds() != 200 {
+		t.Errorf("rounds = %d, want 200", m.Store().Rounds())
+	}
+}
+
+// TestMonitorRunLoop: Run ticks on a real ticker until cancelled — the
+// one test that uses the wall clock.
+func TestMonitorRunLoop(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := New(Config{Registry: reg, Interval: time.Millisecond, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go m.Run(ctx)
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Store().Rounds() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if m.Store().Rounds() < 3 {
+		t.Errorf("run loop ticked %d times in 2s, want >= 3", m.Store().Rounds())
+	}
+}

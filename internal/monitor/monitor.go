@@ -1,0 +1,159 @@
+// Package monitor is the stack's monitoring plane: it turns the
+// point-in-time metrics registry of package obs into time series,
+// alerts, and a health verdict.
+//
+// A Monitor samples an obs.Registry on a fixed interval into a
+// fixed-window ring time-series store (counters as per-interval deltas,
+// so windowed rates are exact; gauges and histogram count/sum pairs as
+// point samples), evaluates declarative alert rules — threshold and
+// rate/burn-rate forms with For-duration hysteresis — through the
+// ok → pending → firing → resolved lifecycle, and folds alert state
+// plus the shard engine's degradation-ladder counters into a
+// healthy/degraded/critical verdict with human-readable reasons.
+//
+// Every alert episode is one causal trace: the pending, firing, and
+// resolved transitions are emitted as typed events through the obs
+// trace layer, so a firing alert correlates with the event log and the
+// flight recorder by trace ID. The clock is injectable, which makes the
+// whole plane deterministic under test: a seeded chaos run plus manual
+// Tick calls replays an exact alert history.
+package monitor
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultInterval is the sampling interval used when Config.Interval is
+// non-positive.
+const DefaultInterval = time.Second
+
+// Config assembles a Monitor.
+type Config struct {
+	// Registry is the metrics source sampled every tick. Required.
+	Registry *obs.Registry
+	// Interval is the sampling period (DefaultInterval when <= 0). It is
+	// also the cadence Run ticks at.
+	Interval time.Duration
+	// Window is the per-series sample capacity (DefaultWindow when <= 0).
+	Window int
+	// Rules are the alert rules evaluated after every sample.
+	Rules []Rule
+	// Tracer receives the alert transition events (optional).
+	Tracer *obs.Tracer
+	// Now is the clock (time.Now when nil); tests inject a fake.
+	Now func() time.Time
+	// HealthWindow is how far back the health scorer looks for counter
+	// movement (default 10 × Interval).
+	HealthWindow time.Duration
+	// Runtime, when true, samples the Go runtime (heap, GC pauses,
+	// goroutines) into Registry before every tick, so the process's own
+	// health is part of the series and the Prometheus export.
+	Runtime bool
+}
+
+func (c Config) interval() time.Duration {
+	if c.Interval <= 0 {
+		return DefaultInterval
+	}
+	return c.Interval
+}
+
+func (c Config) healthWindow() time.Duration {
+	if c.HealthWindow > 0 {
+		return c.HealthWindow
+	}
+	return 10 * c.interval()
+}
+
+// A Monitor owns the sampling loop: registry → time-series store → rule
+// engine → health verdict. Tick is the one unit of work; Run repeats it
+// on the configured interval. All query surfaces (Store, Alerts, Health,
+// and the HTTP handlers) are safe to call while ticking.
+type Monitor struct {
+	cfg     Config
+	ts      *TSStore
+	eng     *Engine
+	runtime *obs.RuntimeSampler
+
+	mu      sync.Mutex // serializes ticks; guards lastNow
+	lastNow time.Time
+}
+
+// New validates the rules and assembles a monitor.
+func New(cfg Config) (*Monitor, error) {
+	eng, err := NewEngine(cfg.Rules, cfg.Tracer, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		cfg: cfg,
+		ts:  NewTSStore(cfg.Window),
+		eng: eng,
+	}
+	if cfg.Runtime {
+		m.runtime = obs.NewRuntimeSampler(cfg.Registry)
+	}
+	return m, nil
+}
+
+func (m *Monitor) now() time.Time {
+	if m.cfg.Now != nil {
+		return m.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Interval returns the effective sampling interval.
+func (m *Monitor) Interval() time.Duration { return m.cfg.interval() }
+
+// Store exposes the time-series store for queries.
+func (m *Monitor) Store() *TSStore { return m.ts }
+
+// Alerts returns the current state of every rule.
+func (m *Monitor) Alerts() []Alert { return m.eng.Alerts() }
+
+// Tick performs one monitoring round: sample the runtime (if enabled)
+// and the registry into the store, then evaluate the rules. It returns
+// the alert transitions the round caused.
+func (m *Monitor) Tick() []Transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.runtime.Sample()
+	m.ts.Ingest(now, m.cfg.Registry.Snapshot())
+	m.lastNow = now
+	return m.eng.Eval(m.ts, now)
+}
+
+// Health scores the array as of the last completed tick (or "now" if
+// nothing has been sampled yet), so concurrent scrapes see a verdict
+// consistent with the sampled data.
+func (m *Monitor) Health() Health {
+	m.mu.Lock()
+	at := m.lastNow
+	m.mu.Unlock()
+	if at.IsZero() {
+		at = m.now()
+	}
+	return Score(m.ts, m.eng.Alerts(), m.cfg.healthWindow(), at)
+}
+
+// Run ticks on the configured interval until ctx is cancelled. The
+// first tick happens one interval after Run starts; call Tick first for
+// an immediate sample.
+func (m *Monitor) Run(ctx context.Context) {
+	t := time.NewTicker(m.cfg.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Tick()
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Kind classifies a time series by how its samples were derived from the
+// registry.
+type Kind uint8
+
+const (
+	// KindCounter series hold per-interval deltas of a monotonically
+	// increasing registry counter (or of a histogram's count/sum), so
+	// windowed rates are exact: rate = Σ deltas / window.
+	KindCounter Kind = iota
+	// KindGauge series hold point samples of a registry gauge.
+	KindGauge
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "unknown"
+	}
+}
+
+// A Point is one sample of one series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// series is one metric's fixed-capacity ring of samples plus the state
+// needed to turn cumulative counters into deltas.
+type series struct {
+	kind    Kind
+	lastRaw float64 // counters: last cumulative value sampled
+	buf     []Point // ring storage
+	n       int     // samples currently held
+	next    int     // ring write cursor
+}
+
+func (s *series) push(p Point) {
+	s.buf[s.next] = p
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+}
+
+// points returns the held samples oldest-first (a copy).
+func (s *series) points() []Point {
+	out := make([]Point, 0, s.n)
+	start := s.next - s.n
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// TSStore is a fixed-window in-memory time-series store over an
+// obs.Registry: each Ingest turns one registry snapshot into one sample
+// per metric, keeping the last Window samples per series in a ring.
+// Counters (and histogram count/sum pairs, stored as <name>.count and
+// <name>.sum) are recorded as per-interval deltas — a windowed rate is
+// then exact, not an interpolation — while gauges are point samples.
+//
+// All methods are safe for concurrent use; Ingest is serialized against
+// the query side by a RWMutex, so a scrape never observes a half-written
+// sampling round.
+type TSStore struct {
+	mu     sync.RWMutex
+	window int
+	series map[string]*series
+	rounds uint64
+	last   time.Time
+}
+
+// DefaultWindow is the per-series sample capacity used when NewTSStore is
+// given a non-positive window: 10 minutes of 1-second samples.
+const DefaultWindow = 600
+
+// NewTSStore returns a store keeping the last window samples per series
+// (DefaultWindow when window <= 0).
+func NewTSStore(window int) *TSStore {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &TSStore{window: window, series: make(map[string]*series)}
+}
+
+// Window returns the per-series sample capacity.
+func (ts *TSStore) Window() int { return ts.window }
+
+// Rounds returns the number of sampling rounds ingested so far.
+func (ts *TSStore) Rounds() uint64 {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return ts.rounds
+}
+
+// LastSample returns the timestamp of the most recent sampling round
+// (zero before the first).
+func (ts *TSStore) LastSample() time.Time {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return ts.last
+}
+
+// Ingest records one sampling round taken at now from snap. Counters are
+// stored as deltas against the previous round (a first observation or a
+// counter reset contributes the full value), gauges as point samples,
+// and each histogram as two counter-delta series, <name>.count and
+// <name>.sum.
+func (ts *TSStore) Ingest(now time.Time, snap obs.Snapshot) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.rounds++
+	ts.last = now
+	for name, v := range snap.Counters {
+		ts.pushCounter(name, now, float64(v))
+	}
+	for name, v := range snap.Gauges {
+		ts.pushGauge(name, now, v)
+	}
+	for name, h := range snap.Histograms {
+		ts.pushCounter(name+".count", now, float64(h.Count))
+		ts.pushCounter(name+".sum", now, h.Sum)
+	}
+}
+
+func (ts *TSStore) getOrCreate(name string, kind Kind) *series {
+	s := ts.series[name]
+	if s == nil {
+		s = &series{kind: kind, buf: make([]Point, ts.window)}
+		ts.series[name] = s
+	}
+	return s
+}
+
+func (ts *TSStore) pushCounter(name string, now time.Time, raw float64) {
+	s := ts.getOrCreate(name, KindCounter)
+	delta := raw - s.lastRaw
+	if delta < 0 {
+		// The counter reset (process restart behind a shared registry
+		// name); count the post-reset value rather than a negative delta.
+		delta = raw
+	}
+	s.lastRaw = raw
+	s.push(Point{T: now, V: delta})
+}
+
+func (ts *TSStore) pushGauge(name string, now time.Time, v float64) {
+	s := ts.getOrCreate(name, KindGauge)
+	s.push(Point{T: now, V: v})
+}
+
+// Names returns the sorted names of every series held.
+func (ts *TSStore) Names() []string {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	out := make([]string, 0, len(ts.series))
+	for name := range ts.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kind returns the kind of the named series; ok is false when the series
+// does not exist.
+func (ts *TSStore) Kind(name string) (Kind, bool) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	s := ts.series[name]
+	if s == nil {
+		return 0, false
+	}
+	return s.kind, true
+}

@@ -1,0 +1,157 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// clock is the injectable test clock: Now returns the current instant,
+// Advance moves it forward.
+type clock struct{ t time.Time }
+
+func newClock() *clock {
+	return &clock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+func (c *clock) Now() time.Time                    { return c.t }
+func (c *clock) Advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+// sample ingests the registry's current state at the clock's instant.
+func sample(ts *TSStore, reg *obs.Registry, c *clock) {
+	ts.Ingest(c.Now(), reg.Snapshot())
+}
+
+// TestCounterDeltas: counters land as per-interval deltas, so the
+// windowed increase and rate are exact.
+func TestCounterDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(16)
+	c := newClock()
+
+	reg.Count("x.total", 5)
+	sample(ts, reg, c)
+	c.Advance(time.Second)
+	reg.Count("x.total", 3)
+	sample(ts, reg, c)
+	c.Advance(time.Second)
+	sample(ts, reg, c) // no movement
+
+	kind, ok := ts.Kind("x.total")
+	if !ok || kind != KindCounter {
+		t.Fatalf("kind = %v/%v, want counter", kind, ok)
+	}
+	pts, _, _ := ts.Range("x.total", time.Time{}, time.Time{})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for i, want := range []float64{5, 3, 0} {
+		if pts[i].V != want {
+			t.Errorf("delta[%d] = %g, want %g", i, pts[i].V, want)
+		}
+	}
+	// The last 2 seconds hold deltas 3 and 0.
+	if inc, ok := ts.Increase("x.total", 2*time.Second, c.Now()); !ok || inc != 3 {
+		t.Errorf("increase(2s) = %g/%v, want 3", inc, ok)
+	}
+	if rate, ok := ts.Rate("x.total", 2*time.Second, c.Now()); !ok || rate != 1.5 {
+		t.Errorf("rate(2s) = %g/%v, want 1.5", rate, ok)
+	}
+	// The full window back to before the first sample includes all 8.
+	if inc, _ := ts.Increase("x.total", time.Hour, c.Now()); inc != 8 {
+		t.Errorf("increase(1h) = %g, want 8", inc)
+	}
+}
+
+// TestCounterReset: a shrinking counter is treated as a reset and
+// contributes its post-reset value, never a negative delta.
+func TestCounterReset(t *testing.T) {
+	ts := NewTSStore(8)
+	c := newClock()
+	ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{"c": 10}})
+	c.Advance(time.Second)
+	ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{"c": 2}})
+	pts, _, _ := ts.Range("c", time.Time{}, time.Time{})
+	if len(pts) != 2 || pts[1].V != 2 {
+		t.Errorf("post-reset delta = %+v, want 2", pts)
+	}
+}
+
+// TestGaugeSamples: gauges are point samples; Last/Avg/Max aggregate
+// the raw values and the gauge Increase is newest-minus-oldest.
+func TestGaugeSamples(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(16)
+	c := newClock()
+	for _, v := range []float64{1, 5, 3} {
+		reg.SetGauge("depth", v)
+		sample(ts, reg, c)
+		c.Advance(time.Second)
+	}
+	now := c.Now()
+	if p, ok := ts.Last("depth"); !ok || p.V != 3 {
+		t.Errorf("last = %+v/%v, want 3", p, ok)
+	}
+	if avg, _ := ts.Avg("depth", time.Minute, now); avg != 3 {
+		t.Errorf("avg = %g, want 3", avg)
+	}
+	if max, _ := ts.Max("depth", time.Minute, now); max != 5 {
+		t.Errorf("max = %g, want 5", max)
+	}
+	if inc, _ := ts.Increase("depth", time.Minute, now); inc != 2 {
+		t.Errorf("gauge increase = %g, want 2 (3-1)", inc)
+	}
+}
+
+// TestHistogramSeries: a histogram becomes .count and .sum delta series.
+func TestHistogramSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(8)
+	c := newClock()
+	reg.Observe("lat", obs.LatencyBuckets, 0.5)
+	reg.Observe("lat", obs.LatencyBuckets, 1.5)
+	sample(ts, reg, c)
+	if inc, ok := ts.Increase("lat.count", time.Minute, c.Now()); !ok || inc != 2 {
+		t.Errorf("lat.count increase = %g/%v, want 2", inc, ok)
+	}
+	if inc, ok := ts.Increase("lat.sum", time.Minute, c.Now()); !ok || inc != 2.0 {
+		t.Errorf("lat.sum increase = %g/%v, want 2.0", inc, ok)
+	}
+}
+
+// TestRingEviction: the store holds exactly window samples per series,
+// evicting oldest-first.
+func TestRingEviction(t *testing.T) {
+	ts := NewTSStore(4)
+	c := newClock()
+	for i := 1; i <= 10; i++ {
+		ts.Ingest(c.Now(), obs.Snapshot{Gauges: map[string]float64{"g": float64(i)}})
+		c.Advance(time.Second)
+	}
+	pts, _, _ := ts.Range("g", time.Time{}, time.Time{})
+	if len(pts) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(pts))
+	}
+	for i, want := range []float64{7, 8, 9, 10} {
+		if pts[i].V != want {
+			t.Errorf("pts[%d] = %g, want %g (oldest-first)", i, pts[i].V, want)
+		}
+	}
+	if ts.Rounds() != 10 {
+		t.Errorf("rounds = %d, want 10", ts.Rounds())
+	}
+}
+
+// TestUnknownSeries: queries on absent series report !ok, never panic.
+func TestUnknownSeries(t *testing.T) {
+	ts := NewTSStore(4)
+	if _, ok := ts.Last("nope"); ok {
+		t.Error("Last on absent series reported ok")
+	}
+	if _, ok := ts.Increase("nope", time.Second, time.Now()); ok {
+		t.Error("Increase on absent series reported ok")
+	}
+	if pts, _, ok := ts.Range("nope", time.Time{}, time.Time{}); ok || pts != nil {
+		t.Error("Range on absent series reported ok")
+	}
+}

@@ -138,6 +138,94 @@ func TestFlightRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestFlightTailConcurrentWrap runs Tail readers against writers
+// hammering a ring small enough to wrap continuously. Under -race this
+// pins Tail's locking; the assertions pin its contract mid-wrap: a
+// trace-filtered tail only ever holds that trace's events, in oldest-
+// first order with per-trace sequence numbers strictly increasing, and
+// the max bound is respected.
+func TestFlightTailConcurrentWrap(t *testing.T) {
+	rec := NewFlightRecorder(8) // tiny ring: every writer pass wraps it
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	readerErr := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trace := TraceID(uint64(r + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tail := rec.Tail(trace, 3)
+				if len(tail) > 3 {
+					readerErr <- fmt.Errorf("Tail(max=3) returned %d events", len(tail))
+					return
+				}
+				lastSeq := -1
+				for _, ev := range tail {
+					if ev.Trace != trace.String() {
+						readerErr <- fmt.Errorf("Tail(%s) leaked event from trace %s", trace, ev.Trace)
+						return
+					}
+					var w, i int
+					if _, err := fmt.Sscanf(ev.Name, "ev-%d-%d", &w, &i); err != nil {
+						readerErr <- fmt.Errorf("torn record in tail: %+v", ev)
+						return
+					}
+					if i <= lastSeq {
+						readerErr <- fmt.Errorf("tail out of order: seq %d after %d", i, lastSeq)
+						return
+					}
+					lastSeq = i
+				}
+			}
+		}(r)
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec.RecordEvent(Event{
+					Trace: TraceID(uint64(w + 1)).String(),
+					Name:  fmt.Sprintf("ev-%d-%d", w+1, i),
+				})
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	select {
+	case err := <-readerErr:
+		t.Fatal(err)
+	default:
+	}
+	if rec.Total() != writers*perWriter {
+		t.Errorf("total = %d, want %d", rec.Total(), writers*perWriter)
+	}
+	// Post-wrap steady state: the ring holds exactly its size, and an
+	// unbounded unfiltered Tail matches Snapshot.
+	if got := len(rec.Tail(0, 0)); got != 8 {
+		t.Errorf("final unfiltered tail holds %d events, want the ring size 8", got)
+	}
+}
+
 // TestFlightHandler exercises the /debug/flight JSON surface, including
 // the trace filter, while a live trace keeps writing.
 func TestFlightHandler(t *testing.T) {

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler feeds Go runtime health — heap occupancy, GC activity
+// and pause times, goroutine count — into a registry as ordinary
+// metrics, so the process serving the array is observable through the
+// same snapshot, Prometheus export, and monitoring plane as the array
+// itself. Sample is meant to be called periodically (the monitor ticks
+// it); it keeps the cursor needed to bill each GC pause exactly once
+// into the pause histogram.
+//
+// Metrics:
+//
+//	go.heap.alloc_bytes     gauge     live heap bytes
+//	go.heap.sys_bytes       gauge     heap bytes obtained from the OS
+//	go.heap.objects         gauge     live objects
+//	go.goroutines           gauge     current goroutine count
+//	go.gc.total             counter   completed GC cycles
+//	go.gc.pause.seconds     histogram stop-the-world pause durations
+type RuntimeSampler struct {
+	reg       *Registry
+	lastNumGC uint32
+}
+
+// NewRuntimeSampler returns a sampler writing into reg. A nil registry
+// yields an inert sampler; a nil *RuntimeSampler is likewise inert.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	// Start the GC-pause cursor at the current cycle so the first Sample
+	// reports only pauses that happen after construction.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &RuntimeSampler{reg: reg, lastNumGC: ms.NumGC}
+}
+
+// Sample records one observation of the runtime into the registry.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.SetGauge("go.heap.alloc_bytes", float64(ms.HeapAlloc))
+	s.reg.SetGauge("go.heap.sys_bytes", float64(ms.HeapSys))
+	s.reg.SetGauge("go.heap.objects", float64(ms.HeapObjects))
+	s.reg.SetGauge("go.goroutines", float64(runtime.NumGoroutine()))
+	if d := ms.NumGC - s.lastNumGC; d > 0 {
+		s.reg.Count("go.gc.total", uint64(d))
+		// PauseNs is a 256-entry ring; bill the cycles we have not seen,
+		// capped at the ring size when the sampler fell far behind.
+		from := s.lastNumGC
+		if d > 256 {
+			from = ms.NumGC - 256
+		}
+		h := s.reg.Histogram("go.gc.pause.seconds", LatencyBuckets)
+		for c := from; c < ms.NumGC; c++ {
+			h.ObserveDuration(time.Duration(ms.PauseNs[(c+255)%256]))
+		}
+		s.lastNumGC = ms.NumGC
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRuntimeSampler: one sample populates every gauge; forcing GC
+// cycles between samples moves the cycle counter and bills pauses into
+// the histogram exactly once per cycle.
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	s.Sample()
+
+	snap := reg.Snapshot()
+	for _, g := range []string{"go.heap.alloc_bytes", "go.heap.sys_bytes", "go.heap.objects", "go.goroutines"} {
+		if snap.Gauges[g] <= 0 {
+			t.Errorf("%s = %v, want > 0", g, snap.Gauges[g])
+		}
+	}
+
+	// Two forced GCs: the counter must advance by exactly 2 and the pause
+	// histogram must record exactly 2 observations.
+	before := reg.Counter("go.gc.total").Value()
+	runtime.GC()
+	runtime.GC()
+	s.Sample()
+	if d := reg.Counter("go.gc.total").Value() - before; d != 2 {
+		t.Errorf("go.gc.total advanced by %d after 2 forced GCs, want 2", d)
+	}
+	hist := reg.Snapshot().Histograms["go.gc.pause.seconds"]
+	if hist.Count != 2 {
+		t.Errorf("pause histogram holds %d observations, want 2", hist.Count)
+	}
+
+	// No GC between samples: nothing double-billed.
+	s.Sample()
+	if hist = reg.Snapshot().Histograms["go.gc.pause.seconds"]; hist.Count != 2 {
+		t.Errorf("idle sample re-billed pauses: count %d, want 2", hist.Count)
+	}
+}
+
+// TestRuntimeSamplerInert: nil registries and nil samplers are no-ops.
+func TestRuntimeSamplerInert(t *testing.T) {
+	if s := NewRuntimeSampler(nil); s != nil {
+		t.Errorf("NewRuntimeSampler(nil) = %v, want nil", s)
+	}
+	var s *RuntimeSampler
+	s.Sample() // must not panic
+}

@@ -178,6 +178,10 @@ func (o Options) store(ctx context.Context) store.Store {
 	if b, ok := base.(store.ContextBinder); ok {
 		base = b.Bind(ctx)
 	}
+	// Byte accounting sits below the retry layer so re-issued attempts
+	// bill their actual I/O — the counters show the true amplification of
+	// a flaky device, not the logical transfer size.
+	base = store.WithMetrics(base, o.Registry)
 	return store.WithRetry(base, ctx, o.retryPolicy())
 }
 

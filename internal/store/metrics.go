@@ -1,0 +1,87 @@
+package store
+
+import (
+	"repro/internal/obs"
+)
+
+// WithMetrics wraps a Store so every byte moved and every operation
+// issued is billed into reg:
+//
+//	store.bytes_read       counter  bytes actually returned by ReadAt
+//	store.bytes_written    counter  bytes actually accepted by WriteAt
+//	store.reads            counter  ReadAt calls
+//	store.writes           counter  WriteAt calls
+//	store.opens            counter  Open calls
+//	store.creates          counter  Create calls
+//	store.syncs            counter  Sync calls
+//
+// Partial transfers bill the partial count — the bytes moved, not the
+// bytes requested — so under the retry layer the counters reflect the
+// true I/O amplification of a flaky device, including every re-issued
+// attempt. Wrap the metrics layer below WithRetry for that reason.
+//
+// A nil registry returns the base store unwrapped.
+func WithMetrics(base Store, reg *obs.Registry) Store {
+	if reg == nil {
+		return base
+	}
+	return &meteredStore{base: base, reg: reg}
+}
+
+type meteredStore struct {
+	base Store
+	reg  *obs.Registry
+}
+
+func (s *meteredStore) Open(path string) (File, error) {
+	f, err := s.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Count("store.opens", 1)
+	return &meteredFile{base: f, reg: s.reg}, nil
+}
+
+func (s *meteredStore) Create(path string) (File, error) {
+	f, err := s.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Count("store.creates", 1)
+	return &meteredFile{base: f, reg: s.reg}, nil
+}
+
+func (s *meteredStore) Rename(oldPath, newPath string) error { return s.base.Rename(oldPath, newPath) }
+func (s *meteredStore) Remove(path string) error             { return s.base.Remove(path) }
+
+type meteredFile struct {
+	base File
+	reg  *obs.Registry
+}
+
+func (f *meteredFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.base.ReadAt(p, off)
+	f.reg.Count("store.reads", 1)
+	if n > 0 {
+		f.reg.Count("store.bytes_read", uint64(n))
+	}
+	return n, err
+}
+
+func (f *meteredFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.base.WriteAt(p, off)
+	f.reg.Count("store.writes", 1)
+	if n > 0 {
+		f.reg.Count("store.bytes_written", uint64(n))
+	}
+	return n, err
+}
+
+func (f *meteredFile) Close() error { return f.base.Close() }
+
+func (f *meteredFile) Size() (int64, error) { return f.base.Size() }
+
+func (f *meteredFile) Sync() error {
+	f.reg.Count("store.syncs", 1)
+	return f.base.Sync()
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check verify conformance chaos bench bench-obs bench-gate bench-baseline race-obs monitor-soak clean
+.PHONY: all build test race vet fmt check verify conformance chaos bench bench-obs bench-gate bench-correct bench-parallel bench-baseline race-obs monitor-soak clean
 
 all: build
 
@@ -62,6 +62,19 @@ bench-obs:
 # against the checked-in baseline. BENCH_GATE_TOL overrides the tolerance.
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_core.json
+
+# Focused gate on the single-column correction hot path: the streamed
+# CorrectColumn carries its own tightened ns/op band in the baseline
+# (tol_ns_frac), so a correct-path regression fails here even when it
+# would squeak under the gate-wide tolerance.
+bench-correct:
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_core.json -only liberation/correct
+
+# Intra-stripe parallel-encode scaling check: asserts >= 2x at 4 workers
+# on a >= 64 MiB stripe. Needs >= 4 real CPUs and a quiet machine; on
+# smaller hosts the test measures and logs without asserting.
+bench-parallel:
+	BENCH_PARALLEL=1 $(GO) test -count=1 -run TestEncodeShardedSpeedup -v ./internal/pipeline/
 
 # Regenerate the bench-gate baseline (run on a quiet machine, then commit).
 bench-baseline:

@@ -8,12 +8,13 @@
 // Usage:
 //
 //	benchgate [-baseline artifacts/BENCH_core.json] [-tol 0.15]
-//	          [-benchtime 1s] [-out current.json] [-write]
+//	          [-benchtime 1s] [-out current.json] [-write] [-only substr]
 //
 // -write regenerates the baseline from this machine instead of comparing;
-// -out additionally saves the current report (for CI artifacts). The
-// tolerance default can be overridden with the BENCH_GATE_TOL environment
-// variable.
+// -out additionally saves the current report (for CI artifacts); -only
+// gates just the benches whose name contains the substring (see `make
+// bench-correct`) — it never filters a -write. The tolerance default can
+// be overridden with the BENCH_GATE_TOL environment variable.
 package main
 
 import (
@@ -21,10 +22,21 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/benchutil"
 )
+
+func filterBenches(benches []benchutil.CoreBench, substr string) []benchutil.CoreBench {
+	var kept []benchutil.CoreBench
+	for _, b := range benches {
+		if strings.Contains(b.Name, substr) {
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
 
 func defaultTol() float64 {
 	if env := os.Getenv("BENCH_GATE_TOL"); env != "" {
@@ -43,6 +55,7 @@ func main() {
 		write     = flag.Bool("write", false, "write the baseline from this run instead of comparing")
 		tol       = flag.Float64("tol", defaultTol(), "allowed fractional ns/op growth after calibration")
 		benchtime = flag.Duration("benchtime", time.Second, "minimum measurement time per bench")
+		only      = flag.String("only", "", "gate only benches whose name contains this substring")
 	)
 	flag.Parse()
 
@@ -75,6 +88,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v (run with -write to create the baseline)\n", err)
 		os.Exit(1)
+	}
+	if *only != "" {
+		// Filter both sides so CompareCore neither gates the other benches
+		// nor flags them as missing.
+		base.Benches = filterBenches(base.Benches, *only)
+		cur.Benches = filterBenches(cur.Benches, *only)
+		if len(base.Benches) == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: -only %q matches no baseline bench\n", *only)
+			os.Exit(1)
+		}
 	}
 	violations := benchutil.CompareCore(base, cur, *tol)
 	if len(violations) == 0 {

@@ -77,10 +77,38 @@ func TestGateFailsInjectedXORRegression(t *testing.T) {
 	if v := CompareCore(base, &cur, 0.15); len(v) != 1 {
 		t.Errorf("+1 XOR not caught: %v", v)
 	}
-	// A decrease (an improvement) passes.
+	// A decrease is an improvement, but the gate is strict equality: it
+	// fails too, telling the author to pin the better count in the
+	// baseline rather than leave it unguarded.
 	cur.Benches[0].XORs = base.Benches[0].XORs - 1
-	if v := CompareCore(base, &cur, 0.15); v != nil {
-		t.Errorf("XOR improvement flagged as regression: %v", v)
+	v := CompareCore(base, &cur, 0.15)
+	if len(v) != 1 {
+		t.Fatalf("-1 XOR not caught: %v", v)
+	}
+	if !strings.Contains(v[0], "improvement") || !strings.Contains(v[0], "-write") {
+		t.Errorf("violation %q should point at refreshing the baseline", v[0])
+	}
+}
+
+// TestGatePerBenchTolerance checks that a bench carrying its own TolNsFrac
+// is judged against that band instead of the gate-wide tolerance.
+func TestGatePerBenchTolerance(t *testing.T) {
+	base := &CoreReport{
+		CalibMBPerSec: 1000,
+		Benches:       []CoreBench{{Name: "x", NsPerOp: 1000, XORs: 10, Units: 5, TolNsFrac: 0.10}},
+	}
+	cur := func(ns float64) *CoreReport {
+		return &CoreReport{
+			CalibMBPerSec: 1000,
+			Benches:       []CoreBench{{Name: "x", NsPerOp: ns, XORs: 10, Units: 5}},
+		}
+	}
+	// +12% is inside the 15% global band but outside the bench's own 10%.
+	if v := CompareCore(base, cur(1120), 0.15); len(v) != 1 {
+		t.Errorf("+12%% beyond the bench's 10%% band passed: %v", v)
+	}
+	if v := CompareCore(base, cur(1080), 0.15); v != nil {
+		t.Errorf("+8%% inside the bench's 10%% band flagged: %v", v)
 	}
 }
 

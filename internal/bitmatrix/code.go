@@ -83,6 +83,11 @@ func (c *Code) Name() string { return c.name }
 func (c *Code) K() int       { return c.k }
 func (c *Code) W() int       { return c.w }
 
+// ElemwiseEncode marks the code for stripe-sharded encoding: the
+// schedule runners address the stripe only through Elem (see
+// core.ElemwiseEncoder).
+func (c *Code) ElemwiseEncode() {}
+
 // Generator returns the code's generator matrix (not a copy).
 func (c *Code) Generator() *Matrix { return c.gen }
 

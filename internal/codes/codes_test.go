@@ -153,3 +153,29 @@ func TestConformanceMatrix(t *testing.T) {
 		}
 	}
 }
+
+// TestLiberationShapesMirror keeps the hardcoded copy of the liberation
+// test shapes in internal/liberation/correct_oracle_test.go (which cannot
+// import this package without a cycle) honest: if the registry's shape
+// list changes, this test names the file to update.
+func TestLiberationShapesMirror(t *testing.T) {
+	info, ok := codes.Lookup("liberation")
+	if !ok {
+		t.Fatal("liberation not registered")
+	}
+	mirror := [][2]int{{3, 5}, {5, 5}, {6, 7}, {8, 11}, {4, 5}}
+	if len(info.TestShapes) != len(mirror) {
+		t.Fatalf("liberation TestShapes changed (%d entries, mirror has %d): update liberationShapes in internal/liberation/correct_oracle_test.go",
+			len(info.TestShapes), len(mirror))
+	}
+	for i, sh := range info.TestShapes {
+		p := sh.P
+		if p == 0 {
+			p = core.NextOddPrime(max(sh.K, 2))
+		}
+		if sh.K != mirror[i][0] || p != mirror[i][1] {
+			t.Errorf("shape %d: registry (k=%d,p=%d) != mirror (k=%d,p=%d): update liberationShapes in internal/liberation/correct_oracle_test.go",
+				i, sh.K, p, mirror[i][0], mirror[i][1])
+		}
+	}
+}

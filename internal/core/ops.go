@@ -96,3 +96,11 @@ func (o *Ops) XorInto3(dst, a, b, c []byte) {
 	}
 	xorblk.XorInto3(dst, a, b, c)
 }
+
+// XorInto4 sets dst ^= a ^ b ^ c ^ d (counted as four XORs).
+func (o *Ops) XorInto4(dst, a, b, c, d []byte) {
+	if o != nil {
+		o.XORs += 4
+	}
+	xorblk.XorInto4(dst, a, b, c, d)
+}

@@ -58,6 +58,10 @@ func (c *Code) P() int { return c.p }
 // W returns the column height, p-1 for EVENODD.
 func (c *Code) W() int { return c.p - 1 }
 
+// ElemwiseEncode marks the code for stripe-sharded encoding: Encode
+// addresses the stripe only through Elem (see core.ElemwiseEncoder).
+func (c *Code) ElemwiseEncode() {}
+
 func (c *Code) mod(x int) int { return core.Mod(x, c.p) }
 
 // elem returns the element at (row, col), or nil for the imaginary row.
@@ -81,11 +85,21 @@ func (c *Code) encode(s *core.Stripe, ops *core.Ops) error {
 		return err
 	}
 	p, k := c.p, c.k
-	// Row parities.
+	// Row parities, batched through the fused kernels (same XOR count,
+	// one pass over pe per four sources).
 	for i := 0; i < p-1; i++ {
 		pe := s.Elem(k, i)
 		ops.Copy(pe, s.Elem(0, i))
-		for j := 1; j < k; j++ {
+		j := 1
+		for ; j+4 <= k; j += 4 {
+			ops.XorInto4(pe, s.Elem(j, i), s.Elem(j+1, i), s.Elem(j+2, i), s.Elem(j+3, i))
+		}
+		switch k - j {
+		case 3:
+			ops.XorInto3(pe, s.Elem(j, i), s.Elem(j+1, i), s.Elem(j+2, i))
+		case 2:
+			ops.XorInto2(pe, s.Elem(j, i), s.Elem(j+1, i))
+		case 1:
 			ops.XorInto(pe, s.Elem(j, i))
 		}
 	}

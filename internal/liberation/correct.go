@@ -1,6 +1,7 @@
 package liberation
 
 import (
+	"bytes"
 	"errors"
 
 	"repro/internal/core"
@@ -18,19 +19,98 @@ var ErrAmbiguousCorruption = errors.New("liberation: corruption not attributable
 // this alias keeps existing callers compiling.
 const CleanColumn = core.CleanColumn
 
+// correctScratch is the reusable working set of one CorrectColumn call:
+// the syndrome rows dP/dQ, the per-candidate prediction rows, and the
+// bookkeeping that keeps the locate phase sparse. It is recycled through
+// Code.scratch (a sync.Pool), so steady-state correction — the scrub loop
+// and the heal rung hammer it once per stripe — allocates nothing.
+type correctScratch struct {
+	elemSize int
+	dP, dQ   [][]byte // syndrome rows, p each
+	pred     [][]byte // predicted dQ rows for the candidate column
+	srcs     [][]byte // gather buffer for the fused row XORs
+	nzP, nzQ []int    // rows with a nonzero syndrome, in order
+	dirty    []int    // pred rows touched by the current candidate
+	nzQSet   []bool   // per-row: dQ[row] != 0
+	predSet  []bool   // per-row: pred[row] touched (and not yet re-zeroed)
+}
+
+// getScratch returns a scratch sized for elemSize, reusing a pooled one
+// when the shape matches (the common case: one Code sees one element
+// size). Mismatched scratch is dropped, not resized — the pool heals
+// itself after one allocation.
+func (c *Code) getScratch(elemSize int) *correctScratch {
+	if sc, ok := c.scratch.Get().(*correctScratch); ok && sc.elemSize == elemSize {
+		return sc
+	}
+	p := c.p
+	sc := &correctScratch{
+		elemSize: elemSize,
+		dP:       make([][]byte, p),
+		dQ:       make([][]byte, p),
+		pred:     make([][]byte, p),
+		srcs:     make([][]byte, 0, c.k+2),
+		nzP:      make([]int, 0, p),
+		nzQ:      make([]int, 0, p),
+		dirty:    make([]int, 0, 2*p),
+		nzQSet:   make([]bool, p),
+		predSet:  make([]bool, p),
+	}
+	backing := make([]byte, 3*p*elemSize)
+	carve := func() []byte {
+		e := backing[:elemSize:elemSize]
+		backing = backing[elemSize:]
+		return e
+	}
+	for i := 0; i < p; i++ {
+		sc.dP[i] = carve()
+		sc.dQ[i] = carve()
+		sc.pred[i] = carve()
+	}
+	return sc
+}
+
+// xorRow sets dst to the XOR of srcs (at least two) through the fused
+// kernels, counting len(srcs)-1 XORs — the cost of one syndrome row.
+func xorRow(ops *core.Ops, dst []byte, srcs [][]byte) {
+	ops.Xor(dst, srcs[0], srcs[1])
+	i := 2
+	for ; i+4 <= len(srcs); i += 4 {
+		ops.XorInto4(dst, srcs[i], srcs[i+1], srcs[i+2], srcs[i+3])
+	}
+	switch len(srcs) - i {
+	case 3:
+		ops.XorInto3(dst, srcs[i], srcs[i+1], srcs[i+2])
+	case 2:
+		ops.XorInto2(dst, srcs[i], srcs[i+1])
+	case 1:
+		ops.XorInto(dst, srcs[i])
+	}
+}
+
 // CorrectColumn scans a full stripe (no erasures) for a single silently
 // corrupted strip and repairs it in place — the single-column error
 // correction the paper provides to protect against silent data
 // corruption. It returns the index of the repaired strip, or CleanColumn
 // if the parities verify.
 //
-// The method: recompute both parities and form the row discrepancy dP and
-// anti-diagonal discrepancy dQ. A corrupt P (resp. Q) strip shows up as
-// dP != 0, dQ == 0 (resp. the reverse). A corrupt data strip c turns dP
-// into exactly the per-row error values, whose known Q-side memberships
-// (each row's anti-diagonal through column c, plus the extra-bit
-// constraint for the extra element of column c) must then reproduce dQ;
-// the unique column whose prediction matches is the corrupted one.
+// The method: form the row discrepancy dP and anti-diagonal discrepancy
+// dQ by streaming each syndrome row directly off the live stripe —
+// dP[i] is the XOR of data row i with the stored P element, dQ[i] the
+// XOR of anti-diagonal i (plus its extra bit) with the stored Q element —
+// with no stripe clone and no shadow re-encode. A corrupt P (resp. Q)
+// strip shows up as dP != 0, dQ == 0 (resp. the reverse), and is healed
+// by folding the discrepancy back into the stored parity. A corrupt data
+// strip c turns dP into exactly the per-row error values, whose known
+// Q-side memberships (each row's anti-diagonal through column c, plus the
+// extra-bit constraint for the extra element of column c) must then
+// reproduce dQ; the unique column whose prediction matches is the
+// corrupted one, and XORing dP's nonzero rows into it repairs it.
+//
+// The common scrub case — a clean stripe — costs exactly the 2p syndrome
+// rows (2p(k-1)+... XORs of streamed reads) and zero allocations: the
+// working set comes from a per-Code pool and no expected stripe is ever
+// materialized.
 func (c *Code) CorrectColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 	if c.obs == nil {
 		return c.correctColumn(s, ops)
@@ -48,58 +128,103 @@ func (c *Code) correctColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 		return 0, err
 	}
 	p, k := c.p, c.k
-	elemSize := s.ElemSize
+	sc := c.getScratch(s.ElemSize)
+	defer c.scratch.Put(sc)
 
-	expect := s.Clone()
-	if err := c.encodeFull(expect, ops); err != nil {
-		return 0, err
-	}
-	dP := make([][]byte, p)
-	dQ := make([][]byte, p)
-	backing := make([]byte, 2*p*elemSize)
-	zeroP, zeroQ := true, true
+	// Stream both syndromes row by row off the live stripe. The clean
+	// case (the overwhelming majority under scrubbing) ends here: both
+	// nonzero-row lists stay empty and nothing was allocated or cloned.
+	sc.nzP, sc.nzQ = sc.nzP[:0], sc.nzQ[:0]
 	for i := 0; i < p; i++ {
-		dP[i], backing = backing[:elemSize:elemSize], backing[elemSize:]
-		dQ[i], backing = backing[:elemSize:elemSize], backing[elemSize:]
-		ops.Xor(dP[i], s.Elem(k, i), expect.Elem(k, i))
-		ops.Xor(dQ[i], s.Elem(k+1, i), expect.Elem(k+1, i))
-		zeroP = zeroP && xorblk.IsZero(dP[i])
-		zeroQ = zeroQ && xorblk.IsZero(dQ[i])
+		srcs := sc.srcs[:0]
+		for t := 0; t < k; t++ {
+			srcs = append(srcs, s.Elem(t, i))
+		}
+		srcs = append(srcs, s.Elem(k, i))
+		xorRow(ops, sc.dP[i], srcs)
+		if !xorblk.IsZero(sc.dP[i]) {
+			sc.nzP = append(sc.nzP, i)
+		}
+
+		srcs = srcs[:0]
+		for t := 0; t < k; t++ {
+			srcs = append(srcs, s.Elem(t, c.mod(i+t)))
+		}
+		if i != 0 {
+			if ecol := c.mod(-2 * i); ecol < k {
+				srcs = append(srcs, s.Elem(ecol, c.mod(-i-1)))
+			}
+		}
+		srcs = append(srcs, s.Elem(k+1, i))
+		xorRow(ops, sc.dQ[i], srcs)
+		nz := !xorblk.IsZero(sc.dQ[i])
+		sc.nzQSet[i] = nz
+		if nz {
+			sc.nzQ = append(sc.nzQ, i)
+		}
 	}
+
 	switch {
-	case zeroP && zeroQ:
+	case len(sc.nzP) == 0 && len(sc.nzQ) == 0:
 		return CleanColumn, nil
-	case !zeroP && zeroQ:
-		ops.Copy(s.Strips[k], expect.Strips[k])
+	case len(sc.nzP) != 0 && len(sc.nzQ) == 0:
+		// Only the row parity disagrees: the P strip is corrupt, and dP
+		// is exactly its error pattern.
+		for _, i := range sc.nzP {
+			ops.XorInto(s.Elem(k, i), sc.dP[i])
+		}
 		return k, nil
-	case zeroP && !zeroQ:
-		ops.Copy(s.Strips[k+1], expect.Strips[k+1])
+	case len(sc.nzP) == 0 && len(sc.nzQ) != 0:
+		for _, i := range sc.nzQ {
+			ops.XorInto(s.Elem(k+1, i), sc.dQ[i])
+		}
 		return k + 1, nil
 	}
 
 	// Both parities disagree: a data strip is suspect. Predict dQ from dP
-	// for each candidate column and look for the unique match.
-	pred := make([]byte, p*elemSize)
-	diff := make([]byte, elemSize) // scratch, reused across all k*p comparisons
+	// for each candidate column and look for the unique match. Only the
+	// pred rows a candidate actually touches are written and compared;
+	// rows left untouched must pair with a zero dQ row (checked through
+	// the nonzero set). Dirty rows — including those left by the previous
+	// CorrectColumn call on this pooled scratch — are re-zeroed lazily.
+	clearDirty := func() {
+		for _, q := range sc.dirty {
+			clear(sc.pred[q])
+			sc.predSet[q] = false
+		}
+		sc.dirty = sc.dirty[:0]
+	}
+	clearDirty()
+	touch := func(q int, src []byte) {
+		if !sc.predSet[q] {
+			sc.predSet[q] = true
+			sc.dirty = append(sc.dirty, q)
+		}
+		ops.XorInto(sc.pred[q], src)
+	}
 	candidate := CleanColumn
 	for col := 0; col < k; col++ {
-		for i := range pred {
-			pred[i] = 0
-		}
-		predRow := func(q int) []byte { return pred[q*elemSize : (q+1)*elemSize] }
-		for i := 0; i < p; i++ {
-			if xorblk.IsZero(dP[i]) {
-				continue
-			}
-			ops.XorInto(predRow(c.mod(i-col)), dP[i])
+		clearDirty()
+		for _, i := range sc.nzP {
+			touch(c.mod(i-col), sc.dP[i])
 			if col >= 1 && i == c.extraRow(col) {
-				ops.XorInto(predRow(c.extraConstraint(col)), dP[i])
+				touch(c.extraConstraint(col), sc.dP[i])
 			}
 		}
 		match := true
-		for q := 0; q < p && match; q++ {
-			xorblk.Xor(diff, predRow(q), dQ[q])
-			match = xorblk.IsZero(diff)
+		for _, q := range sc.dirty {
+			if !bytes.Equal(sc.pred[q], sc.dQ[q]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			for _, q := range sc.nzQ {
+				if !sc.predSet[q] {
+					match = false
+					break
+				}
+			}
 		}
 		if match {
 			if candidate != CleanColumn {
@@ -111,8 +236,8 @@ func (c *Code) correctColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 	if candidate == CleanColumn {
 		return 0, ErrAmbiguousCorruption
 	}
-	for i := 0; i < p; i++ {
-		ops.XorInto(s.Elem(candidate, i), dP[i])
+	for _, i := range sc.nzP {
+		ops.XorInto(s.Elem(candidate, i), sc.dP[i])
 	}
 	return candidate, nil
 }

@@ -32,6 +32,7 @@ package liberation
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -46,6 +47,8 @@ type Code struct {
 	half int // (p-1)/2, the inverse of -2 mod p
 
 	plans planCache // compiled operation sequences (lazy)
+
+	scratch sync.Pool // *correctScratch, reused across CorrectColumn calls
 
 	obs *obs.Registry // optional metrics sink (see Instrument)
 }
@@ -77,6 +80,11 @@ func (c *Code) P() int { return c.p }
 
 // W returns the column height, which equals p for Liberation codes.
 func (c *Code) W() int { return c.p }
+
+// ElemwiseEncode marks the code for stripe-sharded encoding: Encode
+// addresses the stripe only through Elem, so it runs unchanged on
+// core.ElemRange views (see core.ElemwiseEncoder).
+func (c *Code) ElemwiseEncode() {}
 
 // mod is <x>: x mod p in 0..p-1.
 func (c *Code) mod(x int) int { return core.Mod(x, c.p) }

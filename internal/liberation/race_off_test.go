@@ -1,0 +1,5 @@
+//go:build !race
+
+package liberation
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package liberation
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. AllocsPerRun is not meaningful under -race: the instrumentation
+// itself allocates and sync.Pool deliberately drops items.
+const raceEnabled = true

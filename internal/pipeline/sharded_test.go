@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/codes"
+	"repro/internal/core"
+)
+
+// TestEncodeShardedMatchesPlain runs the sharded encoder against every
+// registered code family (elemwise ones shard, strip-granular ones fall
+// back) and requires bit-identical parities to a plain Encode.
+func TestEncodeShardedMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, name := range codes.Names() {
+		info, _ := codes.Lookup(name)
+		sh := info.TestShapes[0]
+		code, err := codes.New(name, sh.K, sh.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, elem := range []int{1024, 8192, 12352} { // below, at, and past the shard threshold
+			want := core.NewStripe(code.K(), code.W(), elem)
+			want.FillRandom(rng)
+			got := want.Clone()
+			if err := code.Encode(want, nil); err != nil {
+				t.Fatal(err)
+			}
+			var ops core.Ops
+			rep, err := EncodeSharded(code, got, &ops, Config{Workers: 4})
+			if err != nil {
+				t.Fatalf("%s elem=%d: %v", name, elem, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s elem=%d: sharded encode diverges (workers=%d)", name, elem, rep.Workers)
+			}
+			if _, elemwise := code.(core.ElemwiseEncoder); !elemwise && rep.Workers != 1 {
+				t.Errorf("%s: strip-granular code did not fall back (workers=%d)", name, rep.Workers)
+			}
+			if elem >= 8192 {
+				if _, elemwise := code.(core.ElemwiseEncoder); elemwise && rep.Workers < 2 {
+					t.Errorf("%s elem=%d: expected a real split, got %d worker(s)", name, elem, rep.Workers)
+				}
+			}
+			if ops.XORs == 0 {
+				t.Errorf("%s elem=%d: no ops accounted", name, elem)
+			}
+		}
+	}
+}
+
+// TestElemRangeViews pins the ElemRange contract the sharded encoder
+// relies on: views alias the parent, cover disjoint byte ranges of every
+// element, and reassemble to the full element.
+func TestElemRangeViews(t *testing.T) {
+	s := core.NewStripe(3, 5, 256)
+	s.FillRandom(rand.New(rand.NewSource(22)))
+	lo, hi := 64, 192
+	v := s.ElemRange(lo, hi)
+	if v.K != s.K || v.W != s.W || v.ElemSize != hi-lo {
+		t.Fatalf("view shape: K=%d W=%d elem=%d", v.K, v.W, v.ElemSize)
+	}
+	for col := 0; col < s.K+2; col++ {
+		for row := 0; row < s.W; row++ {
+			parent := s.Elem(col, row)
+			view := v.Elem(col, row)
+			if &view[0] != &parent[lo] {
+				t.Fatalf("view (%d,%d) does not alias parent", col, row)
+			}
+		}
+	}
+	// A nested view of a view addresses the same bytes.
+	vv := v.ElemRange(32, 64)
+	if &vv.Elem(1, 2)[0] != &s.Elem(1, 2)[lo+32] {
+		t.Fatal("nested view misaddressed")
+	}
+}
+
+// TestEncodeShardedSpeedup demonstrates the intra-stripe scaling claim:
+// on a multi-core machine, 4 workers on a >= 64 MiB stripe must beat one
+// worker by >= 2x. The measurement needs real parallel hardware and a
+// quiet machine, so it only asserts when BENCH_PARALLEL=1 is set and at
+// least 4 CPUs are available; otherwise it measures, logs, and skips the
+// assertion. `make bench-parallel` runs it in asserting mode.
+func TestEncodeShardedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	assert := os.Getenv("BENCH_PARALLEL") == "1"
+	if assert && runtime.NumCPU() < 4 {
+		t.Skipf("BENCH_PARALLEL=1 but only %d CPU(s); need 4", runtime.NumCPU())
+	}
+	if !assert && runtime.NumCPU() < 2 {
+		t.Skipf("single-CPU machine; nothing to measure")
+	}
+
+	code, err := codes.New("liberation", 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 data strips x 11 elements x 768 KiB = 66 MiB of data.
+	elem := 768 * 1024
+	s := core.NewStripe(8, 11, elem)
+	s.FillRandom(rand.New(rand.NewSource(23)))
+
+	run := func(workers int) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			if _, err := EncodeSharded(code, s, nil, Config{Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	run(1) // warm-up: schedules compiled, pages faulted in
+	t1 := run(1)
+	t4 := run(4)
+	speedup := float64(t1) / float64(t4)
+	t.Logf("64MiB-stripe encode: 1 worker %v, 4 workers %v, speedup %.2fx", t1, t4, speedup)
+	if assert && speedup < 2 {
+		t.Errorf("speedup %.2fx < 2x at 4 workers (1w=%v 4w=%v)", speedup, t1, t4)
+	}
+}
+
+func BenchmarkEncodeSharded(b *testing.B) {
+	code, err := codes.New("liberation", 8, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elem := 768 * 1024
+	s := core.NewStripe(8, 11, elem)
+	s.FillRandom(rand.New(rand.NewSource(24)))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(s.DataSize()))
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeSharded(code, s, nil, Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -59,6 +59,10 @@ func (c *Code) P() int { return c.p }
 // W returns the column height, p-1 for RDP.
 func (c *Code) W() int { return c.p - 1 }
 
+// ElemwiseEncode marks the code for stripe-sharded encoding: Encode
+// addresses the stripe only through Elem (see core.ElemwiseEncoder).
+func (c *Code) ElemwiseEncode() {}
+
 func (c *Code) mod(x int) int { return core.Mod(x, c.p) }
 
 // mathStrip maps a math-array column (0..p-1) to a strip index, or -1 for
@@ -95,25 +99,57 @@ func (c *Code) encodeP(s *core.Stripe, ops *core.Ops) error {
 	for i := 0; i < c.p-1; i++ {
 		pe := s.Elem(c.k, i)
 		ops.Copy(pe, s.Elem(0, i))
-		for j := 1; j < c.k; j++ {
+		j := 1
+		for ; j+4 <= c.k; j += 4 {
+			ops.XorInto4(pe, s.Elem(j, i), s.Elem(j+1, i), s.Elem(j+2, i), s.Elem(j+3, i))
+		}
+		switch c.k - j {
+		case 3:
+			ops.XorInto3(pe, s.Elem(j, i), s.Elem(j+1, i), s.Elem(j+2, i))
+		case 2:
+			ops.XorInto2(pe, s.Elem(j, i), s.Elem(j+1, i))
+		case 1:
 			ops.XorInto(pe, s.Elem(j, i))
 		}
 	}
 	return nil
 }
 
-// encodeQ computes the diagonal parity from the data and P strips.
+// encodeQ computes the diagonal parity from the data and P strips. The
+// per-diagonal contributions are gathered into batches of four and run
+// through the fused kernels, so qe crosses the cache once per four
+// accumulations; the counted XORs are identical to the one-at-a-time
+// loop.
 func (c *Code) encodeQ(s *core.Stripe, ops *core.Ops) error {
 	p, k := c.p, c.k
 	for d := 0; d < p-1; d++ {
 		qe := s.Elem(k+1, d)
 		acc := false
+		var buf [4][]byte
+		nb := 0
+		flush := func() {
+			switch nb {
+			case 4:
+				ops.XorInto4(qe, buf[0], buf[1], buf[2], buf[3])
+			case 3:
+				ops.XorInto3(qe, buf[0], buf[1], buf[2])
+			case 2:
+				ops.XorInto2(qe, buf[0], buf[1])
+			case 1:
+				ops.XorInto(qe, buf[0])
+			}
+			nb = 0
+		}
 		add := func(col, row int) {
-			if acc {
-				ops.XorInto(qe, s.Elem(col, row))
-			} else {
+			if !acc {
 				ops.Copy(qe, s.Elem(col, row))
 				acc = true
+				return
+			}
+			buf[nb] = s.Elem(col, row)
+			nb++
+			if nb == 4 {
+				flush()
 			}
 		}
 		for j := 0; j < k; j++ {
@@ -124,6 +160,7 @@ func (c *Code) encodeQ(s *core.Stripe, ops *core.Ops) error {
 		if row := c.mod(d + 1); row != p-1 {
 			add(k, row) // the P-column cell of diagonal d
 		}
+		flush()
 		if !acc {
 			ops.Zero(qe)
 		}

@@ -394,7 +394,9 @@ func (r *recovery) correctionStream(ctx context.Context, files []store.File, sof
 			return &quarantineError{col: col, cause: err}
 		}
 		for j := 0; j < n; j++ {
-			col, cerr := r.corrector.CorrectColumn(stripes[j], nil)
+			var cops core.Ops
+			col, cerr := r.corrector.CorrectColumn(stripes[j], &cops)
+			r.reg.Count("shard.correct_column.xors", cops.XORs)
 			switch {
 			case cerr == nil && col != core.CleanColumn:
 				r.rep.Corrections++

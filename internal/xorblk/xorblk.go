@@ -7,14 +7,35 @@
 // The kernels here are the only place data bytes are actually touched;
 // everything above them manipulates element indices.
 //
-// The kernels process 8-byte words via encoding/binary (which the compiler
-// lowers to single loads/stores on little-endian machines) with a 4-way
-// unrolled main loop, and fall back to byte-at-a-time for ragged tails.
+// Every kernel uses the same alignment-aware head/body/tail split: the
+// bytes before the destination's first 8-byte-aligned address are handled
+// byte-wise, the aligned body runs through a 4-way unrolled loop of 8-byte
+// words via encoding/binary (which the compiler lowers to single
+// loads/stores on little-endian machines), and the ragged tail — at most 7
+// bytes once the head is aligned — finishes byte-wise. Aligning on the
+// destination keeps the stores (the expensive half of a read-modify-write
+// XOR) on word boundaries even when callers slice mid-element, e.g. the
+// element-range views behind the stripe-sharded parallel encoder.
 package xorblk
 
 import (
 	"encoding/binary"
+	"unsafe"
 )
+
+// align8 returns the number of leading bytes of b before its first
+// 8-byte-aligned address, capped at len(b). XORing exactly these bytes
+// byte-wise lets the wide loops run on aligned destination words.
+func align8(b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	h := int(-uintptr(unsafe.Pointer(&b[0])) & 7)
+	if h > len(b) {
+		h = len(b)
+	}
+	return h
+}
 
 // Xor sets dst = a ^ b. All three slices must have the same length and may
 // not partially overlap (dst == a or dst == b is allowed).
@@ -23,7 +44,11 @@ func Xor(dst, a, b []byte) {
 	if len(a) != n || len(b) != n {
 		panic("xorblk: length mismatch")
 	}
-	i := 0
+	head := align8(dst)
+	for i := 0; i < head; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+	i := head
 	for ; i+32 <= n; i += 32 {
 		w0 := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
 		w1 := binary.LittleEndian.Uint64(a[i+8:]) ^ binary.LittleEndian.Uint64(b[i+8:])
@@ -49,7 +74,11 @@ func XorInto(dst, src []byte) {
 	if len(src) != n {
 		panic("xorblk: length mismatch")
 	}
-	i := 0
+	head := align8(dst)
+	for i := 0; i < head; i++ {
+		dst[i] ^= src[i]
+	}
+	i := head
 	for ; i+32 <= n; i += 32 {
 		w0 := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
 		w1 := binary.LittleEndian.Uint64(dst[i+8:]) ^ binary.LittleEndian.Uint64(src[i+8:])
@@ -76,8 +105,17 @@ func XorMany(dst []byte, srcs ...[]byte) {
 		panic("xorblk: XorMany requires at least one source")
 	}
 	copy(dst, srcs[0])
-	for _, s := range srcs[1:] {
-		XorInto(dst, s)
+	i := 1
+	for ; i+4 <= len(srcs); i += 4 {
+		XorInto4(dst, srcs[i], srcs[i+1], srcs[i+2], srcs[i+3])
+	}
+	switch len(srcs) - i {
+	case 3:
+		XorInto3(dst, srcs[i], srcs[i+1], srcs[i+2])
+	case 2:
+		XorInto2(dst, srcs[i], srcs[i+1])
+	case 1:
+		XorInto(dst, srcs[i])
 	}
 }
 
@@ -101,7 +139,11 @@ func XorInto2(dst, a, b []byte) {
 	if len(a) != n || len(b) != n {
 		panic("xorblk: length mismatch")
 	}
-	i := 0
+	head := align8(dst)
+	for i := 0; i < head; i++ {
+		dst[i] ^= a[i] ^ b[i]
+	}
+	i := head
 	for ; i+32 <= n; i += 32 {
 		w0 := binary.LittleEndian.Uint64(dst[i:]) ^
 			binary.LittleEndian.Uint64(a[i:]) ^
@@ -137,7 +179,11 @@ func XorInto3(dst, a, b, c []byte) {
 	if len(a) != n || len(b) != n || len(c) != n {
 		panic("xorblk: length mismatch")
 	}
-	i := 0
+	head := align8(dst)
+	for i := 0; i < head; i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i]
+	}
+	i := head
 	for ; i+32 <= n; i += 32 {
 		w0 := binary.LittleEndian.Uint64(dst[i:]) ^
 			binary.LittleEndian.Uint64(a[i:]) ^
@@ -169,5 +215,46 @@ func XorInto3(dst, a, b, c []byte) {
 	}
 	for ; i < n; i++ {
 		dst[i] ^= a[i] ^ b[i] ^ c[i]
+	}
+}
+
+// XorInto4 sets dst ^= a ^ b ^ c ^ d in a single pass over dst. Four
+// sources is the sweet spot for the fused schedules: dst travels through
+// the cache once per four accumulations, and the 2-way unrolled body keeps
+// ten live streams without spilling on amd64.
+func XorInto4(dst, a, b, c, d []byte) {
+	n := len(dst)
+	if len(a) != n || len(b) != n || len(c) != n || len(d) != n {
+		panic("xorblk: length mismatch")
+	}
+	head := align8(dst)
+	for i := 0; i < head; i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i]
+	}
+	i := head
+	for ; i+16 <= n; i += 16 {
+		w0 := binary.LittleEndian.Uint64(dst[i:]) ^
+			binary.LittleEndian.Uint64(a[i:]) ^
+			binary.LittleEndian.Uint64(b[i:]) ^
+			binary.LittleEndian.Uint64(c[i:]) ^
+			binary.LittleEndian.Uint64(d[i:])
+		w1 := binary.LittleEndian.Uint64(dst[i+8:]) ^
+			binary.LittleEndian.Uint64(a[i+8:]) ^
+			binary.LittleEndian.Uint64(b[i+8:]) ^
+			binary.LittleEndian.Uint64(c[i+8:]) ^
+			binary.LittleEndian.Uint64(d[i+8:])
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+8:], w1)
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^
+				binary.LittleEndian.Uint64(a[i:])^
+				binary.LittleEndian.Uint64(b[i:])^
+				binary.LittleEndian.Uint64(c[i:])^
+				binary.LittleEndian.Uint64(d[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i]
 	}
 }

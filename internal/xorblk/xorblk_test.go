@@ -91,6 +91,85 @@ func TestXorMany(t *testing.T) {
 	}
 }
 
+// TestRaggedAndMisaligned pins the head/tail split: every kernel must
+// agree with the byte-loop reference for element sizes that are not word
+// multiples (1, 7, 31, 4097, ...) and for buffers whose first byte is not
+// 8-byte aligned — the shapes where a broken head/tail handoff silently
+// corrupts or drops bytes.
+func TestRaggedAndMisaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 15, 31, 32, 33, 63, 100, 1023, 4097} {
+		for off := 0; off < 8; off++ {
+			// Carve buffers at byte offset off of a larger backing so the
+			// kernels see genuinely misaligned heads.
+			carve := func() []byte {
+				b := make([]byte, n+16)
+				rng.Read(b)
+				return b[off : off+n : off+n]
+			}
+			dst0, a, b, c, d := carve(), carve(), carve(), carve(), carve()
+
+			want := append([]byte(nil), dst0...)
+			got := append(make([]byte, off), dst0...)[off:]
+			for i := 0; i < n; i++ {
+				want[i] = a[i] ^ b[i]
+			}
+			Xor(got, a, b)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Xor wrong at n=%d off=%d", n, off)
+			}
+
+			check := func(name string, nsrc int, fn func(dst []byte)) {
+				want := append([]byte(nil), dst0...)
+				srcs := [][]byte{a, b, c, d}
+				for i := 0; i < n; i++ {
+					for _, s := range srcs[:nsrc] {
+						want[i] ^= s[i]
+					}
+				}
+				got := append(make([]byte, off), dst0...)[off:]
+				fn(got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s wrong at n=%d off=%d", name, n, off)
+				}
+			}
+			check("XorInto", 1, func(dst []byte) { XorInto(dst, a) })
+			check("XorInto2", 2, func(dst []byte) { XorInto2(dst, a, b) })
+			check("XorInto3", 3, func(dst []byte) { XorInto3(dst, a, b, c) })
+			check("XorInto4", 4, func(dst []byte) { XorInto4(dst, a, b, c, d) })
+			check("XorMany", 4, func(dst []byte) {
+				tmp := make([]byte, n)
+				XorMany(tmp, dst, a, b, c, d)
+				copy(dst, tmp)
+			})
+		}
+	}
+}
+
+func TestXorInto4(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{0, 7, 8, 16, 33, 100, 4097} {
+		d0 := make([]byte, n)
+		a := make([]byte, n)
+		b := make([]byte, n)
+		c := make([]byte, n)
+		d := make([]byte, n)
+		for _, s := range [][]byte{d0, a, b, c, d} {
+			rng.Read(s)
+		}
+		want := append([]byte(nil), d0...)
+		XorInto(want, a)
+		XorInto(want, b)
+		XorInto(want, c)
+		XorInto(want, d)
+		got := append([]byte(nil), d0...)
+		XorInto4(got, a, b, c, d)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("XorInto4 wrong at n=%d", n)
+		}
+	}
+}
+
 func TestIsZero(t *testing.T) {
 	for n := 0; n < 64; n++ {
 		b := make([]byte, n)

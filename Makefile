@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check verify conformance chaos bench bench-obs bench-gate bench-correct bench-parallel bench-baseline race-obs monitor-soak clean
+.PHONY: all build test race vet fmt check verify conformance chaos chaos-nodes bench bench-obs bench-gate bench-correct bench-parallel bench-baseline race-obs monitor-soak clean
 
 all: build
 
@@ -47,6 +47,14 @@ conformance:
 chaos:
 	CHAOS_SCHEDULES=3000 $(GO) test -count=1 -run TestChaosSoak -v ./internal/shard/
 
+# chaos-nodes is the node-level fault-domain soak: seeded whole-node
+# outage / flapping-membership / hung-node schedules for every
+# registered code on spread placement. Outage-only schedules that spare
+# the manifest's node MUST decode byte-identically (the RAID-6 contract
+# at node granularity); everything else must end in a typed error.
+chaos-nodes:
+	CHAOS_NODE_SCHEDULES=500 $(GO) test -count=1 -run TestChaosNodesSoak -v ./internal/shard/
+
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
@@ -81,11 +89,13 @@ bench-baseline:
 	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_core.json -write
 
 # Race-detector pass focused on the observability surfaces: concurrent
-# flight-recorder scrapes, event-log writes, traced degraded decodes, and
-# monitoring-plane scrapes while the sampler ticks.
+# flight-recorder scrapes, event-log writes, traced degraded decodes,
+# monitoring-plane scrapes while the sampler ticks, and the node
+# fault-domain layer (gated stores, breakers, hedged reads).
 race-obs:
-	$(GO) test -race -count=1 -run 'Trace|Flight|LogJSON|Concurrent|EventLog' \
-		./internal/obs ./internal/shard ./internal/monitor ./cmd/raidcli ./cmd/raidmon
+	$(GO) test -race -count=1 -run 'Trace|Flight|LogJSON|Concurrent|EventLog|Node|Breaker|Hedge|Timeout' \
+		./internal/obs ./internal/shard ./internal/monitor ./cmd/raidcli ./cmd/raidmon \
+		./internal/store ./internal/store/nodestore
 
 # monitor-soak is the monitoring-plane gate: a seeded faultstore chaos
 # schedule over repeated decodes must drive an alert through the full

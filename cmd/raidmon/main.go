@@ -11,6 +11,11 @@
 //	/api/v1/alerts  rule-engine state: every alert with its transitions and trace
 //	/api/v1/health  array health verdict with per-target reasons
 //
+// The built-in alert rules (used when -rules is not given) cover the
+// whole degradation ladder, including the node fault-domain layer: a
+// critical node-down rule on the nodestore.nodes_down gauge and a
+// warning on open per-node circuit breakers (store.breaker.open).
+//
 // The workload driver alternates write traffic with fault episodes —
 // disk failures, degraded reads, rebuilds, silent corruption, scrubs —
 // so every metric family the coding and array layers emit (span

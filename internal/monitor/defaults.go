@@ -37,6 +37,16 @@ func DefaultRules() []Rule {
 			Severity: SeverityWarning,
 		},
 		{
+			Name: "node-down", Metric: "nodestore.nodes_down",
+			Kind: RuleThreshold, Op: ">", Value: 0,
+			Severity: SeverityCritical,
+		},
+		{
+			Name: "breaker-open", Metric: "store.breaker.open",
+			Kind: RuleThreshold, Op: ">", Value: 0,
+			Window: Duration(5 * time.Minute), Severity: SeverityWarning,
+		},
+		{
 			Name: "goroutine-leak", Metric: "go.goroutines",
 			Kind: RuleThreshold, Op: ">", Value: 10000,
 			Severity: SeverityCritical,

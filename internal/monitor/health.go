@@ -83,7 +83,8 @@ type healthSignal struct {
 // healthSignals is the degradation ladder in metric form, ordered from
 // creeping trouble to data-loss-adjacent. The retry/quarantine/rung
 // counters come from the shard engine, faultstore.injected.* from the
-// chaos layer, and the scrub counters from raidsim.
+// chaos layer, the nodestore/hedge/breaker counters from the node
+// fault-domain layer, and the scrub counters from raidsim.
 var healthSignals = []healthSignal{
 	{"shard.retry.total", Degraded, "transient I/O retries"},
 	{"shard.quarantine.total", Degraded, "shard quarantines"},
@@ -92,6 +93,10 @@ var healthSignals = []healthSignal{
 	{"faultstore.injected.total", Degraded, "injected faults"},
 	{"raid.scrub_repairs", Degraded, "scrub corruption repairs"},
 	{"raid.degraded_reads", Degraded, "degraded reads"},
+	{"nodestore.down.total", Degraded, "operations refused by down nodes"},
+	{"nodestore.replaced.total", Degraded, "shards re-placed onto spare nodes"},
+	{"store.hedge.fired", Degraded, "hedged reads fired against slow nodes"},
+	{"store.breaker.open.total", Critical, "node circuit breakers tripped"},
 	{"shard.retry.exhausted", Critical, "retry budgets exhausted"},
 	{"shard.correct_column.failed", Critical, "failed column corrections"},
 	{"shard.decode.errors", Critical, "decode failures"},

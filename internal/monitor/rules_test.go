@@ -251,3 +251,48 @@ func TestParseRules(t *testing.T) {
 		t.Error("bad duration accepted")
 	}
 }
+
+// TestNodeDownAlert: the shipped node-down default rule fires critical
+// as soon as the nodestore reports a node out of the membership, and
+// resolves when the node comes back.
+func TestNodeDownAlert(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(64)
+	c := newClock()
+	var rules []Rule
+	for _, r := range DefaultRules() {
+		if r.Name == "node-down" {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) != 1 {
+		t.Fatalf("DefaultRules is missing the node-down rule")
+	}
+	if rules[0].Severity != SeverityCritical {
+		t.Fatalf("node-down severity = %q, want critical", rules[0].Severity)
+	}
+	eng, err := NewEngine(rules, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() []Transition {
+		sample(ts, reg, c)
+		out := eng.Eval(ts, c.Now())
+		c.Advance(time.Second)
+		return out
+	}
+
+	wantTrans(t, tick()) // all nodes up: quiet
+
+	reg.SetGauge("nodestore.nodes_down", 2)
+	got := tick()
+	if len(got) == 0 || got[len(got)-1].To != "firing" {
+		t.Fatalf("transitions with 2 nodes down = %v, want a firing node-down alert", trans(got))
+	}
+
+	reg.SetGauge("nodestore.nodes_down", 0)
+	got = tick()
+	if len(got) != 1 || got[0].To != "resolved" {
+		t.Fatalf("transitions after recovery = %v, want node-down resolved", trans(got))
+	}
+}

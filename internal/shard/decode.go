@@ -207,7 +207,8 @@ func (r *recovery) run(sink recoverSink) error {
 		r.rep.Attempts++
 		actx, asp := obs.StartSpanCtx(r.ctx, r.reg, "shard.attempt",
 			slog.Int("attempt", r.rep.Attempts))
-		files, status, hard, soft := probeShards(actx, r.m, r.dir, r.st, r.reg, r.forced)
+		files, status, hard, soft := probeShards(actx, r.m, r.dir, r.st,
+			nodeMapperOf(r.opt.Store), r.reg, r.forced)
 		r.rep.Status = status
 		r.noteQuarantines(actx, status)
 		err := r.attempt(actx, files, status, hard, soft, sink)
@@ -225,6 +226,17 @@ func (r *recovery) run(sink recoverSink) error {
 		}
 		var q *quarantineError
 		if !errors.As(err, &q) {
+			if nodeFault(err) && sink.canRestart() && r.rep.Attempts < maxAttempts {
+				// A node went dark under the sink mid-stream: the temp a
+				// shard was streaming into is unreachable. Restart the
+				// attempt — begin recreates the temps and a placement-
+				// aware store re-places them onto healthy spare nodes,
+				// while the re-probe hard-erases the dead node's shards.
+				r.reg.Count("shard.sink.restart.total", 1)
+				obs.EmitErr(r.ctx, slog.LevelWarn, "shard.sink.restart", err,
+					slog.Int("attempt", r.rep.Attempts))
+				continue
+			}
 			return err
 		}
 		if r.rep.Attempts >= maxAttempts {

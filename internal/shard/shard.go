@@ -65,10 +65,12 @@ func manifestCode(m *Manifest, reg *obs.Registry) (core.Code, error) {
 	return code, nil
 }
 
-// FormatVersion identifies the manifest/shard layout. Version 2 records
-// the erasure code by registry name together with its strip width;
-// version 1 manifests (implicitly Liberation) still load.
-const FormatVersion = 2
+// FormatVersion identifies the manifest/shard layout. Version 3 adds an
+// optional placement block recording which simulated node each shard
+// landed on; version 2 records the erasure code by registry name
+// together with its strip width; version 1 manifests (implicitly
+// Liberation) still load, as do version 2 manifests (no placement).
+const FormatVersion = 3
 
 // DefaultBatchStripes is the pipeline batch size used when
 // Options.BatchStripes is zero. It bounds the streaming paths' resident
@@ -102,7 +104,9 @@ type Options struct {
 	Store store.Store
 	// Retry bounds the retrying of transient store failures. The zero
 	// value selects store.DefaultRetry; set MaxAttempts to 1 to disable
-	// retries.
+	// retries. Retry.AttemptTimeout is the per-op deadline: a store call
+	// that hangs past it is abandoned and retried as a transient
+	// KindTimeout fault instead of stalling the data path forever.
 	Retry store.RetryPolicy
 	// Context cancels in-flight I/O (including backoff sleeps between
 	// retries). Nil means context.Background().
@@ -221,6 +225,20 @@ type Manifest struct {
 	// Checksums holds one CRC-32 (IEEE) per shard, indexed by strip
 	// (0..k-1 data, k = P, k+1 = Q).
 	Checksums []uint32 `json:"checksums"`
+	// Placement, when present (version 3, encoded through a node-mapped
+	// store), records which simulated node each shard landed on.
+	Placement *Placement `json:"placement,omitempty"`
+}
+
+// Placement is the manifest's record of how shards were spread across
+// simulated fault domains: the policy that placed them, the node count,
+// and one node index per shard (same order as Checksums). It is
+// advisory — decode works without it — but it lets operators and the
+// chaos harness reason about which outages a shard set survives.
+type Placement struct {
+	Policy string `json:"policy"`
+	Nodes  int    `json:"nodes"`
+	Shards []int  `json:"shards"`
 }
 
 // ShardName returns the file name of strip i's shard.
@@ -271,7 +289,7 @@ func loadManifest(st store.Store, path string) (*Manifest, error) {
 				ErrManifest, m.Code)
 		}
 		m.W = m.P
-	case FormatVersion:
+	case 2, FormatVersion:
 		if !codes.Known(m.Code) {
 			return nil, fmt.Errorf("%w: unknown code %q (registered: %s)",
 				ErrManifest, m.Code, strings.Join(codes.Names(), ", "))
@@ -286,7 +304,39 @@ func loadManifest(st store.Store, path string) (*Manifest, error) {
 		return nil, fmt.Errorf("%w: %d checksums, want %d",
 			ErrManifest, len(m.Checksums), m.K+2)
 	}
+	if pl := m.Placement; pl != nil {
+		if pl.Nodes < 1 {
+			return nil, fmt.Errorf("%w: placement with %d nodes", ErrManifest, pl.Nodes)
+		}
+		if len(pl.Shards) != m.K+2 {
+			return nil, fmt.Errorf("%w: placement maps %d shards, want %d",
+				ErrManifest, len(pl.Shards), m.K+2)
+		}
+		for i, n := range pl.Shards {
+			if n < 0 || n >= pl.Nodes {
+				return nil, fmt.Errorf("%w: shard %d placed on node %d of %d",
+					ErrManifest, i, n, pl.Nodes)
+			}
+		}
+	}
 	return &m, nil
+}
+
+// nodeMapperOf extracts the node-placement view of a configured store,
+// nil when the store does not map paths to fault domains.
+func nodeMapperOf(st store.Store) store.NodeMapper {
+	m, _ := st.(store.NodeMapper)
+	return m
+}
+
+// nodeFault reports whether err is a node-level store fault — a down
+// node, an open circuit breaker, or an exhausted per-op deadline. These
+// are the failures a restarted attempt can route around by re-placing
+// its work onto other nodes.
+func nodeFault(err error) bool {
+	return store.IsKind(err, store.KindNodeDown) ||
+		store.IsKind(err, store.KindBreakerOpen) ||
+		store.IsKind(err, store.KindTimeout)
 }
 
 // probeBufSize is the scratch-buffer size of the streaming checksum
@@ -307,24 +357,33 @@ const probeBufSize = 128 << 10
 // The caller owns every non-nil file. The work is recorded as a
 // shard.probe span (a child of ctx's trace when one is active), and
 // every unhealthy shard as a shard.unhealthy event naming the shard and
-// its state.
-func probeShards(ctx context.Context, m *Manifest, dir string, st store.Store, reg *obs.Registry,
+// its state. When mapper is non-nil (a node-mapped store) each status is
+// attributed to the node holding the shard, so a whole-node outage reads
+// as such in the report instead of as unrelated per-shard failures.
+func probeShards(ctx context.Context, m *Manifest, dir string, st store.Store,
+	mapper store.NodeMapper, reg *obs.Registry,
 	forced map[int]error) (files []store.File, status []ShardStatus, hard, soft []int) {
 	pctx, sp := obs.StartSpanCtx(ctx, reg, "shard.probe")
 	defer func() {
 		sp.Attr(slog.Int("hard", len(hard)), slog.Int("soft", len(soft))).End(nil)
 	}()
 	note := func(i int) {
-		obs.EmitErr(pctx, slog.LevelWarn, "shard.unhealthy", status[i].Err,
-			slog.Int("shard", i), slog.String("name", status[i].Name),
-			slog.String("state", status[i].State.String()))
+		attrs := []obs.Attr{slog.Int("shard", i), slog.String("name", status[i].Name),
+			slog.String("state", status[i].State.String())}
+		if status[i].Node >= 0 {
+			attrs = append(attrs, slog.Int("node", status[i].Node))
+		}
+		obs.EmitErr(pctx, slog.LevelWarn, "shard.unhealthy", status[i].Err, attrs...)
 	}
 	_, shardSize := m.shardShape()
 	buf := make([]byte, probeBufSize)
 	files = make([]store.File, m.K+2)
 	status = make([]ShardStatus, m.K+2)
 	for i := range status {
-		status[i] = ShardStatus{Index: i, Name: m.ShardName(i), State: StateOK}
+		status[i] = ShardStatus{Index: i, Name: m.ShardName(i), State: StateOK, Node: -1}
+		if mapper != nil {
+			status[i].Node = mapper.NodeFor(filepath.Join(dir, m.ShardName(i)))
+		}
 		if cause, ok := forced[i]; ok {
 			status[i].Present = true
 			status[i].State = StateQuarantined
@@ -403,7 +462,8 @@ func Verify(manifestPath string, opt Options) (err error) {
 	if err != nil {
 		return err
 	}
-	files, status, hard, soft := probeShards(ctx, m, filepath.Dir(manifestPath), st, opt.Registry, nil)
+	files, status, hard, soft := probeShards(ctx, m, filepath.Dir(manifestPath), st,
+		nodeMapperOf(opt.Store), opt.Registry, nil)
 	for _, f := range files {
 		if f != nil {
 			f.Close()

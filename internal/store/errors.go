@@ -9,14 +9,54 @@ import (
 // injects, so tests can tell injected failures from real ones.
 var ErrInjected = errors.New("store: injected fault")
 
+// FaultKind refines a Fault beyond transient/permanent: what class of
+// failure struck, so the layers above can react differently to a slow
+// node (hedge, breaker) than to a flaky disk (retry).
+type FaultKind int
+
+const (
+	// KindIO is an ordinary I/O failure (the zero value — every fault
+	// predating the node layer is one).
+	KindIO FaultKind = iota
+	// KindTimeout marks an attempt abandoned at its deadline
+	// (RetryPolicy.AttemptTimeout or a node-level op budget). Transient
+	// by construction: the next attempt may land on a faster path.
+	KindTimeout
+	// KindNodeDown marks an operation refused because the node holding
+	// the path is out (whole-node outage or a flap's down phase).
+	KindNodeDown
+	// KindBreakerOpen marks a fast-fail from an open per-node circuit
+	// breaker: the node was already judged unhealthy, so the operation
+	// was refused without touching it. Permanent by construction — the
+	// caller should treat the node's shards as erased, not retry.
+	KindBreakerOpen
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case KindIO:
+		return "io"
+	case KindTimeout:
+		return "timeout"
+	case KindNodeDown:
+		return "node-down"
+	case KindBreakerOpen:
+		return "breaker-open"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
 // A Fault is a classified I/O failure: it names the operation and path
-// it struck and says whether retrying can help. The retry layer treats
-// any error that does not carry a Fault (or another Transient() bool
-// implementation) as permanent — real filesystem errors fail fast, and
-// only explicitly classified failures burn backoff budget.
+// it struck, says whether retrying can help, and carries the failure
+// class (Kind). The retry layer treats any error that does not carry a
+// Fault (or another Transient() bool implementation) as permanent —
+// real filesystem errors fail fast, and only explicitly classified
+// failures burn backoff budget.
 type Fault struct {
 	Op        string // "read", "write", "open", ...
 	Path      string
+	Kind      FaultKind
 	Transient bool
 	Err       error
 }
@@ -25,6 +65,9 @@ func (f *Fault) Error() string {
 	kind := "permanent"
 	if f.Transient {
 		kind = "transient"
+	}
+	if f.Kind != KindIO {
+		kind += " " + f.Kind.String()
 	}
 	return fmt.Sprintf("store: %s %s %s: %v", kind, f.Op, f.Path, f.Err)
 }
@@ -39,6 +82,13 @@ func NewTransient(op, path string, err error) *Fault {
 // NewPermanent wraps err as a non-retryable fault.
 func NewPermanent(op, path string, err error) *Fault {
 	return &Fault{Op: op, Path: path, Transient: false, Err: err}
+}
+
+// NewTimeout wraps err as a deadline fault: transient (the retry layer
+// may re-issue the attempt) and classified KindTimeout so breakers and
+// the degradation ladder can count slowness separately from flakiness.
+func NewTimeout(op, path string, err error) *Fault {
+	return &Fault{Op: op, Path: path, Kind: KindTimeout, Transient: true, Err: err}
 }
 
 // transienter is the interface any error can implement to opt into
@@ -57,4 +107,10 @@ func IsTransient(err error) bool {
 		return t.IsTransient()
 	}
 	return false
+}
+
+// IsKind reports whether err carries a Fault of the given kind.
+func IsKind(err error, kind FaultKind) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Kind == kind
 }

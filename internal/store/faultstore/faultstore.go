@@ -133,15 +133,20 @@ type Config struct {
 	// Registry, when non-nil, receives faultstore.inject spans and
 	// faultstore.injected.* counters.
 	Registry *obs.Registry
+	// Sleep, when non-nil, replaces the real latency wait (tests and
+	// soaks inject an instant fake clock here). It must honor ctx
+	// cancellation like store.SleepContext does.
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Store is a fault-injecting store.Store. Bind attaches a request
 // context so injections are recorded into its active trace; the unbound
 // store injects silently into the registry only.
 type Store struct {
-	base store.Store
-	reg  *obs.Registry
-	seed int64
+	base  store.Store
+	reg   *obs.Registry
+	seed  int64
+	sleep func(ctx context.Context, d time.Duration) error
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -158,11 +163,15 @@ type ruleState struct {
 // New wraps base with the configured fault schedule.
 func New(base store.Store, cfg Config) *Store {
 	s := &Store{
-		base: base,
-		reg:  cfg.Registry,
-		seed: cfg.Seed,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		gone: make(map[string]bool),
+		base:  base,
+		reg:   cfg.Registry,
+		seed:  cfg.Seed,
+		sleep: cfg.Sleep,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		gone:  make(map[string]bool),
+	}
+	if s.sleep == nil {
+		s.sleep = store.SleepContext
 	}
 	for _, r := range cfg.Rules {
 		s.rules = append(s.rules, &ruleState{Rule: r})
@@ -257,7 +266,13 @@ func (s *Store) apply(ctx context.Context, inj *injection) error {
 		s.base.Remove(inj.path)
 		return notExist(inj.op, inj.path)
 	case Latency:
-		time.Sleep(inj.delay)
+		// Injected latency is cancellable: a caller whose deadline (or
+		// whole operation) is cancelled mid-sleep gets a transient fault
+		// back instead of serving out the delay — exactly what a real
+		// slow device looks like to a deadline-bounded read.
+		if err := s.sleep(ctx, inj.delay); err != nil {
+			return store.NewTransient(inj.op.String(), inj.path, err)
+		}
 		return nil
 	}
 	return nil

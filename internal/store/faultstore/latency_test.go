@@ -1,0 +1,88 @@
+package faultstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestLatencyCancelledMidSleep is the regression for injected latency
+// ignoring its context: a caller cancelled mid-delay must get a
+// transient store.Fault back promptly instead of serving out the full
+// injected sleep.
+func TestLatencyCancelledMidSleep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.bin")
+	if err := os.WriteFile(path, []byte("abcd"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(store.OS{}, Config{Seed: 1, Rules: []Rule{
+		{Op: OpRead, Kind: Latency, Prob: 1, Delay: time.Minute},
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f, err := fs.Bind(ctx).Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = f.ReadAt(make([]byte, 4), 0)
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled read took %v, want well under the 1-minute injected delay", elapsed)
+	}
+	if !store.IsTransient(err) {
+		t.Fatalf("err = %v, want a transient store.Fault", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want to unwrap to context.Canceled", err)
+	}
+	var fa *store.Fault
+	if !errors.As(err, &fa) || fa.Op != OpRead.String() {
+		t.Errorf("fault attribution = %+v, want op=read", fa)
+	}
+}
+
+// TestLatencyInjectedSleep checks Config.Sleep replaces the real wait:
+// the soaks run thousand-schedule latency chaos on a fake clock.
+func TestLatencyInjectedSleep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.bin")
+	if err := os.WriteFile(path, []byte("abcd"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	fs := New(store.OS{}, Config{
+		Seed:  1,
+		Rules: []Rule{{Op: OpRead, Kind: Latency, Prob: 1, Delay: time.Minute}},
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return ctx.Err()
+		},
+	})
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if _, err := f.ReadAt(make([]byte, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fake-clock read took %v of wall clock", elapsed)
+	}
+	if len(slept) != 1 || slept[0] != time.Minute {
+		t.Errorf("fake clock saw sleeps %v, want exactly the injected 1m delay", slept)
+	}
+}

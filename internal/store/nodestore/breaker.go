@@ -1,0 +1,107 @@
+package nodestore
+
+import "time"
+
+// BreakerConfig arms the per-node circuit breakers. The zero value
+// disables them.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive node-level failures
+	// (down refusals or op-budget timeouts) that trips a node's breaker
+	// open. <= 0 disables the breaker.
+	Threshold int
+	// Cooldown is how long an open breaker fast-fails before admitting
+	// one half-open probe (default 1s). Measured on the store's Now
+	// clock, so tests drive it with a fake.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) enabled() bool { return c.Threshold > 0 }
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return time.Second
+	}
+	return c.Cooldown
+}
+
+type breakerState int
+
+const (
+	bClosed breakerState = iota
+	bOpen
+	bHalfOpen
+)
+
+// breaker is one node's circuit breaker: closed → open after Threshold
+// consecutive node-level failures, open → half-open after Cooldown on
+// the injected clock, half-open → closed on a successful probe (or back
+// to open on a failed one). While open, every operation fast-fails with
+// a permanent KindBreakerOpen fault — the degradation ladder reads that
+// as "this node's shards are erased" and reaches for parity instead of
+// burning its retry budget against a node already judged unhealthy.
+// All methods are called under the store lock.
+type breaker struct {
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+// allow reports whether an operation may proceed, transitioning an open
+// breaker to half-open (the caller's operation becomes the probe) once
+// the cooldown has elapsed.
+func (b *breaker) allow(cfg BreakerConfig, now time.Time) bool {
+	if !cfg.enabled() {
+		return true
+	}
+	switch b.state {
+	case bOpen:
+		if now.Sub(b.openedAt) >= cfg.cooldown() {
+			b.state = bHalfOpen
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// wouldAllow is allow without the half-open transition — for spare-node
+// selection, which must not consume the probe slot.
+func (b *breaker) wouldAllow(cfg BreakerConfig, now time.Time) bool {
+	if !cfg.enabled() || b.state != bOpen {
+		return true
+	}
+	return now.Sub(b.openedAt) >= cfg.cooldown()
+}
+
+// fail records a node-level failure, reporting whether it tripped the
+// breaker open (including a failed half-open probe re-opening it).
+func (b *breaker) fail(cfg BreakerConfig, now time.Time) bool {
+	if !cfg.enabled() {
+		return false
+	}
+	if b.state == bHalfOpen {
+		b.state = bOpen
+		b.openedAt = now
+		return true
+	}
+	b.consecutive++
+	if b.state == bClosed && b.consecutive >= cfg.Threshold {
+		b.state = bOpen
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// ok records a node-level success, reporting whether it closed a
+// half-open breaker.
+func (b *breaker) ok(cfg BreakerConfig) bool {
+	if !cfg.enabled() {
+		return false
+	}
+	was := b.state
+	b.state = bClosed
+	b.consecutive = 0
+	return was == bHalfOpen
+}

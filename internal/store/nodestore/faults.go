@@ -1,0 +1,168 @@
+package nodestore
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeFaultKind classifies a node-level fault.
+type NodeFaultKind int
+
+const (
+	// Outage takes the whole node down: every operation is refused with
+	// a permanent KindNodeDown fault, so the shard probe hard-erases the
+	// node's shards and the ladder reaches for parity immediately.
+	Outage NodeFaultKind = iota
+	// Flap cycles the node's membership: Period ops down, Period ops
+	// up, repeating. Down-phase refusals are transient KindNodeDown
+	// faults — the retry layer's backoff can ride out a short flap.
+	Flap
+	// LatencyFault injects Delay (± Jitter) of per-op latency on the
+	// node, feeding the hedge quantile and the op-budget timeout path.
+	LatencyFault
+)
+
+func (k NodeFaultKind) String() string {
+	switch k {
+	case Outage:
+		return "outage"
+	case Flap:
+		return "flap"
+	case LatencyFault:
+		return "latency"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NodeFault is one rule of a node's deterministic fault schedule. Time
+// is counted in gated operations charged to the node (not wall clock),
+// so a schedule replays identically for an identical op sequence.
+type NodeFault struct {
+	// Node the rule applies to.
+	Node int
+	// Kind of fault.
+	Kind NodeFaultKind
+	// After arms the rule once the node has served this many ops.
+	After int
+	// For bounds the rule's life in ops once armed; 0 means forever.
+	// For a Flap, the bound covers the whole up/down cycling.
+	For int
+	// Period is a Flap's half-cycle in ops (default 8): the node is
+	// down for Period ops, up for Period, down again, …
+	Period int
+	// Delay is a LatencyFault's injected per-op latency.
+	Delay time.Duration
+	// Jitter widens Delay uniformly to [Delay, Delay+Jitter) per op.
+	Jitter time.Duration
+	// Prob gates a LatencyFault per op (0 or 1 mean always).
+	Prob float64
+}
+
+func (f NodeFault) period() int {
+	if f.Period <= 0 {
+		return 8
+	}
+	return f.Period
+}
+
+// active reports whether the rule covers 0-based op index idx.
+func (f NodeFault) active(idx int) bool {
+	if idx < f.After {
+		return false
+	}
+	return f.For <= 0 || idx < f.After+f.For
+}
+
+// availAt evaluates the schedule's availability rules for node at op
+// index idx: down, and whether the refusal is permanent (an Outage) or
+// transient (a Flap's down phase).
+func availAt(faults []NodeFault, node, idx int) (down, perm bool) {
+	for _, f := range faults {
+		if f.Node != node || !f.active(idx) {
+			continue
+		}
+		switch f.Kind {
+		case Outage:
+			down, perm = true, true
+		case Flap:
+			if ((idx-f.After)/f.period())%2 == 0 {
+				down = true
+			}
+		}
+	}
+	return down, perm
+}
+
+// latencyAt evaluates the schedule's latency rules for node at op index
+// idx, consuming rng draws for probability gates and jitter. Callers
+// that hedge call it twice: the second draw is the hedged request's
+// independent sample.
+func latencyAt(faults []NodeFault, node, idx int, rng *rand.Rand) time.Duration {
+	var total time.Duration
+	for _, f := range faults {
+		if f.Node != node || f.Kind != LatencyFault || !f.active(idx) {
+			continue
+		}
+		if f.Prob > 0 && f.Prob < 1 && rng.Float64() >= f.Prob {
+			continue
+		}
+		d := f.Delay
+		if f.Jitter > 0 {
+			d += time.Duration(rng.Int63n(int64(f.Jitter)))
+		}
+		total += d
+	}
+	return total
+}
+
+// Profile returns a named node fault schedule scaled to the node count,
+// for the CLI's -node-fault-profile flag and the chaos soaks. The seed
+// picks which nodes the faults strike, so a soak sweeping seeds covers
+// the placement space. Known profiles:
+//
+//	off      — no faults
+//	outage   — one node out for good after a few ops
+//	outage2  — two distinct nodes out (the RAID-6 design point)
+//	flap     — one node cycling membership
+//	slow     — one node with heavy per-op latency (hedge/breaker bait)
+//	chaos    — outage + flap + slow across three distinct nodes
+func Profile(name string, seed int64, nodes int) ([]NodeFault, error) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := rng.Perm(nodes)
+	at := func(i int) int { return pick[i%len(pick)] }
+	switch name {
+	case "", "off":
+		return nil, nil
+	case "outage":
+		return []NodeFault{{Node: at(0), Kind: Outage, After: 2 + rng.Intn(6)}}, nil
+	case "outage2":
+		return []NodeFault{
+			{Node: at(0), Kind: Outage, After: 2 + rng.Intn(6)},
+			{Node: at(1), Kind: Outage, After: 2 + rng.Intn(6)},
+		}, nil
+	case "flap":
+		return []NodeFault{{Node: at(0), Kind: Flap, After: 1 + rng.Intn(4), Period: 2 + rng.Intn(6)}}, nil
+	case "slow":
+		return []NodeFault{{Node: at(0), Kind: LatencyFault, Delay: 40 * time.Millisecond,
+			Jitter: 20 * time.Millisecond}}, nil
+	case "chaos":
+		return []NodeFault{
+			{Node: at(0), Kind: Outage, After: 4 + rng.Intn(8)},
+			{Node: at(1), Kind: Flap, After: 2 + rng.Intn(4), Period: 2 + rng.Intn(6)},
+			{Node: at(2), Kind: LatencyFault, Delay: 10 * time.Millisecond,
+				Jitter: 30 * time.Millisecond, Prob: 0.5},
+		}, nil
+	default:
+		return nil, fmt.Errorf("nodestore: unknown fault profile %q", name)
+	}
+}
+
+// Profiles lists the names Profile accepts, for CLI usage errors.
+func Profiles() []string {
+	return []string{"off", "outage", "outage2", "flap", "slow", "chaos"}
+}

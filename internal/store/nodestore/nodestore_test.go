@@ -1,0 +1,387 @@
+package nodestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// nullStore succeeds at everything without touching a filesystem, so
+// the gate tests exercise only the node fault model.
+type nullStore struct{}
+
+func (nullStore) Open(string) (store.File, error)   { return nullFile{}, nil }
+func (nullStore) Create(string) (store.File, error) { return nullFile{}, nil }
+func (nullStore) Rename(_, _ string) error          { return nil }
+func (nullStore) Remove(string) error               { return nil }
+
+type nullFile struct{}
+
+func (nullFile) ReadAt(b []byte, _ int64) (int, error)  { return len(b), nil }
+func (nullFile) WriteAt(b []byte, _ int64) (int, error) { return len(b), nil }
+func (nullFile) Size() (int64, error)                   { return 0, nil }
+func (nullFile) Sync() error                            { return nil }
+func (nullFile) Close() error                           { return nil }
+
+// instantSleep records requested waits without sleeping.
+type instantSleep struct {
+	mu    sync.Mutex
+	total time.Duration
+	n     int
+}
+
+func (c *instantSleep) sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.total += d
+	c.n++
+	c.mu.Unlock()
+	return ctx.Err()
+}
+
+// TestSpreadPlacementDistinctNodes checks the fault-domain guarantee:
+// with Nodes ≥ k+2 under the spread policy, no two shards of one file
+// share a node — and a repair temp file places exactly like the shard
+// it will be renamed to.
+func TestSpreadPlacementDistinctNodes(t *testing.T) {
+	s := New(Config{Nodes: 5, Base: nullStore{}, Placement: PolicySpread})
+	names := []string{"x.shard.d00", "x.shard.d01", "x.shard.d02", "x.shard.p", "x.shard.q"}
+	seen := map[int]string{}
+	for _, name := range names {
+		n := s.NodeFor("/data/" + name)
+		if prev, dup := seen[n]; dup {
+			t.Errorf("%s and %s share node %d", prev, name, n)
+		}
+		seen[n] = name
+	}
+	if got, want := s.NodeFor("/data/x.shard.d01.repair"), s.NodeFor("/data/x.shard.d01"); got != want {
+		t.Errorf("repair temp placed on node %d, its shard on %d", got, want)
+	}
+	if s.PlacementPolicy() != PolicySpread || s.NodeCount() != 5 {
+		t.Errorf("mapper reports %q/%d nodes", s.PlacementPolicy(), s.NodeCount())
+	}
+}
+
+// TestRoundRobinDeterministic checks two stores seeing the same path
+// sequence assign identically.
+func TestRoundRobinDeterministic(t *testing.T) {
+	paths := []string{"a", "b", "c", "d", "a", "e"}
+	assign := func() []int {
+		s := New(Config{Nodes: 3, Base: nullStore{}})
+		var got []int
+		for _, p := range paths {
+			got = append(got, s.NodeFor(p))
+		}
+		return got
+	}
+	a := assign()
+	if !reflect.DeepEqual(a, assign()) {
+		t.Errorf("same path sequence, different assignments: %v", a)
+	}
+	if a[0] != a[4] {
+		t.Errorf("re-seen path moved nodes: %v", a)
+	}
+}
+
+// TestOutageRefusesPermanently checks a whole-node outage: every op on
+// the node fails fast with a permanent KindNodeDown fault (the ladder's
+// cue to hard-erase), and the down transition is billed once.
+func TestOutageRefusesPermanently(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := &instantSleep{}
+	s := New(Config{Nodes: 2, Base: nullStore{}, Registry: reg, Sleep: clock.sleep,
+		Faults: []NodeFault{{Node: 0, Kind: Outage}}})
+	s.Assign("dead", 0)
+	s.Assign("alive", 1)
+	for i := 0; i < 3; i++ {
+		_, err := s.Open("dead")
+		if !store.IsKind(err, store.KindNodeDown) {
+			t.Fatalf("open on outage node: err = %v, want KindNodeDown", err)
+		}
+		if store.IsTransient(err) {
+			t.Fatalf("outage refusal must be permanent, got %v", err)
+		}
+		if !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("err = %v, want to unwrap to ErrNodeDown", err)
+		}
+	}
+	if _, err := s.Open("alive"); err != nil {
+		t.Fatalf("healthy node refused: %v", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["nodestore.down.total"]; got != 3 {
+		t.Errorf("nodestore.down.total = %d, want 3", got)
+	}
+	if got := snap.Gauges["nodestore.nodes_down"]; got != 1 {
+		t.Errorf("nodestore.nodes_down = %v, want 1", got)
+	}
+}
+
+// TestFlapTransientAndRecovers checks flapping membership: down-phase
+// refusals are transient (retries can ride them out) and the node
+// serves again in the up phase.
+func TestFlapTransientAndRecovers(t *testing.T) {
+	s := New(Config{Nodes: 1, Base: nullStore{},
+		Faults: []NodeFault{{Node: 0, Kind: Flap, Period: 2}}})
+	var results []bool // true = refused
+	for i := 0; i < 8; i++ {
+		_, err := s.Open("x")
+		if err != nil {
+			if !store.IsKind(err, store.KindNodeDown) || !store.IsTransient(err) {
+				t.Fatalf("op %d: err = %v, want transient KindNodeDown", i, err)
+			}
+			results = append(results, true)
+		} else {
+			results = append(results, false)
+		}
+	}
+	want := []bool{true, true, false, false, true, true, false, false}
+	if !reflect.DeepEqual(results, want) {
+		t.Errorf("flap pattern = %v, want %v", results, want)
+	}
+}
+
+// TestOpTimeoutBudget checks the per-op latency budget: an injected
+// delay beyond OpTimeout costs the caller only the budget and fails
+// with a transient KindTimeout fault.
+func TestOpTimeoutBudget(t *testing.T) {
+	clock := &instantSleep{}
+	reg := obs.NewRegistry()
+	s := New(Config{Nodes: 1, Base: nullStore{}, Registry: reg, Sleep: clock.sleep,
+		OpTimeout: 10 * time.Millisecond,
+		Faults:    []NodeFault{{Node: 0, Kind: LatencyFault, Delay: 30 * time.Second}}})
+	_, err := s.Open("x")
+	if !store.IsKind(err, store.KindTimeout) || !store.IsTransient(err) {
+		t.Fatalf("err = %v, want transient KindTimeout", err)
+	}
+	if !errors.Is(err, ErrOpBudget) {
+		t.Errorf("err = %v, want to unwrap to ErrOpBudget", err)
+	}
+	if clock.total != 10*time.Millisecond {
+		t.Errorf("slept %v, want exactly the 10ms budget", clock.total)
+	}
+	if got := reg.Snapshot().Counters["nodestore.timeout.total"]; got != 1 {
+		t.Errorf("nodestore.timeout.total = %d, want 1", got)
+	}
+}
+
+// TestHedgedReadCutsTailLatency compares the same seeded heavy-tail
+// schedule with and without hedging: hedged reads can only shorten the
+// effective wait, and on this seed they strictly do, with the wins
+// billed to store.hedge.*.
+func TestHedgedReadCutsTailLatency(t *testing.T) {
+	run := func(hedge HedgeConfig) (time.Duration, uint64, uint64) {
+		clock := &instantSleep{}
+		reg := obs.NewRegistry()
+		s := New(Config{Nodes: 1, Base: nullStore{}, Registry: reg, Sleep: clock.sleep,
+			Seed: 7, Hedge: hedge,
+			Faults: []NodeFault{{Node: 0, Kind: LatencyFault,
+				Delay: time.Millisecond, Jitter: 200 * time.Millisecond}}})
+		f, err := s.Open("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]byte, 8)
+		for i := 0; i < 64; i++ {
+			if _, err := f.ReadAt(b, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := reg.Snapshot()
+		return clock.total, snap.Counters["store.hedge.fired"], snap.Counters["store.hedge.wins"]
+	}
+	plain, fired0, _ := run(HedgeConfig{})
+	if fired0 != 0 {
+		t.Fatalf("hedging disabled but fired %d times", fired0)
+	}
+	hedged, fired, wins := run(HedgeConfig{Quantile: 0.5, Min: time.Millisecond})
+	if fired == 0 || wins == 0 {
+		t.Fatalf("hedge fired %d / won %d on a heavy-tail schedule, want both > 0", fired, wins)
+	}
+	if hedged >= plain {
+		t.Errorf("hedged total wait %v, unhedged %v; hedging must cut the tail", hedged, plain)
+	}
+}
+
+// TestBreakerLifecycle walks the full state machine on a fake clock:
+// consecutive node-level failures trip it open, while open every op
+// fast-fails with a permanent KindBreakerOpen fault, after Cooldown one
+// probe goes through (re-opening on failure), and a successful probe
+// closes it again.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	reg := obs.NewRegistry()
+	s := New(Config{Nodes: 1, Base: nullStore{}, Registry: reg,
+		Now:     func() time.Time { return now },
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Second},
+		// ops 0..3 down, up from op 4 on
+		Faults: []NodeFault{{Node: 0, Kind: Outage, For: 4}}})
+
+	// Two down refusals trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Open("x"); !store.IsKind(err, store.KindNodeDown) {
+			t.Fatalf("op %d: err = %v, want KindNodeDown", i, err)
+		}
+	}
+	// Open breaker, cooldown not elapsed: fast-fail, permanent.
+	_, err := s.Open("x")
+	if !store.IsKind(err, store.KindBreakerOpen) || store.IsTransient(err) {
+		t.Fatalf("err = %v, want permanent KindBreakerOpen fast-fail", err)
+	}
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want to unwrap to ErrBreakerOpen", err)
+	}
+	// Cooldown elapses; the probe hits op index 3 — still down — and
+	// re-opens the breaker.
+	now = now.Add(2 * time.Second)
+	if _, err := s.Open("x"); !store.IsKind(err, store.KindNodeDown) {
+		t.Fatalf("probe: err = %v, want KindNodeDown (schedule still down)", err)
+	}
+	if _, err := s.Open("x"); !store.IsKind(err, store.KindBreakerOpen) {
+		t.Fatalf("after failed probe: err = %v, want KindBreakerOpen", err)
+	}
+	// Second cooldown; op index 5 is up, the probe succeeds and closes.
+	now = now.Add(2 * time.Second)
+	if _, err := s.Open("x"); err != nil {
+		t.Fatalf("successful probe: %v", err)
+	}
+	if _, err := s.Open("x"); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["store.breaker.open.total"]; got != 2 {
+		t.Errorf("store.breaker.open.total = %d, want 2 (trip + re-open)", got)
+	}
+	if got := snap.Counters["store.breaker.close.total"]; got != 1 {
+		t.Errorf("store.breaker.close.total = %d, want 1", got)
+	}
+	if got := snap.Counters["store.breaker.fastfail.total"]; got != 2 {
+		t.Errorf("store.breaker.fastfail.total = %d, want 2", got)
+	}
+	if got := snap.Gauges["store.breaker.open"]; got != 0 {
+		t.Errorf("store.breaker.open gauge = %v, want 0 after close", got)
+	}
+}
+
+// TestCreateReplacedOntoSpare checks repair re-placement: a create
+// refused by a down node lands on a healthy spare, the assignment
+// moves, and the replacement is billed.
+func TestCreateReplacedOntoSpare(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := New(Config{Nodes: 3, Base: store.OS{}, Registry: reg,
+		Faults: []NodeFault{{Node: 0, Kind: Outage}}})
+	path := filepath.Join(dir, "healed.shard.d00")
+	s.Assign(path, 0)
+	f, err := s.Create(path)
+	if err != nil {
+		t.Fatalf("create on down home node: %v (want re-placement onto a spare)", err)
+	}
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NodeFor(path); got == 0 {
+		t.Errorf("path still assigned to the down node")
+	}
+	if got := reg.Snapshot().Counters["nodestore.replaced.total"]; got != 1 {
+		t.Errorf("nodestore.replaced.total = %d, want 1", got)
+	}
+	// Reads now hit the spare node, not the dead one.
+	g, err := s.Open(path)
+	if err != nil {
+		t.Fatalf("open after re-placement: %v", err)
+	}
+	g.Close()
+}
+
+// TestRenameMovesAssignment checks the heal hand-off: the renamed path
+// inherits the node its temp file was written on.
+func TestRenameMovesAssignment(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Nodes: 4, Base: store.OS{}})
+	tmp := filepath.Join(dir, "y.shard.q.repair")
+	final := filepath.Join(dir, "y.shard.q")
+	s.Assign(tmp, 2)
+	s.Assign(final, 3)
+	f, err := s.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := s.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NodeFor(final); got != 2 {
+		t.Errorf("renamed shard on node %d, want the temp file's node 2", got)
+	}
+}
+
+// TestProfileDeterministic checks named profiles reproduce from their
+// seed and reject unknown names.
+func TestProfileDeterministic(t *testing.T) {
+	a, err := Profile("chaos", 42, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Profile("chaos", 42, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	nodes := map[int]bool{}
+	for _, f := range a {
+		nodes[f.Node] = true
+	}
+	if len(nodes) != 3 {
+		t.Errorf("chaos profile struck %d distinct nodes, want 3", len(nodes))
+	}
+	if _, err := Profile("nope", 1, 4); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if off, err := Profile("off", 1, 4); err != nil || off != nil {
+		t.Errorf("off profile = %v, %v; want empty schedule", off, err)
+	}
+}
+
+// TestConcurrentNodeGate hammers one store from many goroutines under
+// mixed faults — the race detector patrols the gate's lock discipline.
+func TestConcurrentNodeGate(t *testing.T) {
+	clock := &instantSleep{}
+	faults, err := Profile("chaos", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Nodes: 4, Base: nullStore{}, Registry: obs.NewRegistry(),
+		Sleep: clock.sleep, Seed: 3, Faults: faults,
+		OpTimeout: 20 * time.Millisecond,
+		Hedge:     HedgeConfig{Quantile: 0.9},
+		Breaker:   BreakerConfig{Threshold: 3, Cooldown: time.Millisecond}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b := make([]byte, 4)
+			for i := 0; i < 200; i++ {
+				path := fmt.Sprintf("p%d", (g+i)%16)
+				f, err := s.Open(path)
+				if err != nil {
+					continue
+				}
+				f.ReadAt(b, 0)
+				f.WriteAt(b, 0)
+				f.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,83 @@
+package nodestore
+
+import (
+	"hash/fnv"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Placement policies. Both are pure functions of the operation sequence
+// (round-robin) or of the path itself (spread), so an encode session and
+// a later decode session reconstruct the same path → node map — which is
+// what lets the manifest's placement record stay truthful without any
+// central directory.
+const (
+	// PolicyRoundRobin deals paths to nodes in first-sight order.
+	PolicyRoundRobin = "round-robin"
+	// PolicySpread places the shards of one stripe set on consecutive
+	// nodes starting at a hash of the base name, so with Nodes ≥ k+2 no
+	// two shards of a file share a fault domain — a single node outage
+	// costs at most one shard, and two outages cost at most two.
+	PolicySpread = "spread"
+)
+
+func policyName(p string) string {
+	if p == PolicySpread {
+		return PolicySpread
+	}
+	return PolicyRoundRobin
+}
+
+// nodeForLocked resolves (assigning on first sight) the node for path.
+// Caller holds the lock.
+func (s *Store) nodeForLocked(path string) int {
+	if n, ok := s.assign[path]; ok {
+		return n
+	}
+	total := s.cfg.nodes()
+	var n int
+	switch policyName(s.cfg.Placement) {
+	case PolicySpread:
+		n = spreadNode(path, total)
+	default:
+		n = s.seq % total
+		s.seq++
+	}
+	s.assign[path] = n
+	return n
+}
+
+// spreadNode hashes the shard's stripe-set name and offsets by the
+// shard's ordinal within the set, so sibling shards land on distinct
+// consecutive nodes (mod the node count).
+func spreadNode(path string, total int) int {
+	set, ord := splitShardName(filepath.Base(path))
+	h := fnv.New32a()
+	h.Write([]byte(set))
+	return (int(h.Sum32()%uint32(total)) + ord) % total
+}
+
+// splitShardName splits a shard file name into its stripe-set name and
+// an ordinal: data shards count from 2 ("x.shard.d0" → 2), parity P and
+// Q take 0 and 1, and anything else (the manifest, temp files) sticks
+// with ordinal 0 under its full name.
+func splitShardName(base string) (string, int) {
+	// A repair temp file must place like the shard it will be renamed
+	// to, or the heal would migrate the shard to a colliding node.
+	base = strings.TrimSuffix(base, ".repair")
+	if i := strings.LastIndex(base, ".shard."); i >= 0 {
+		set, suffix := base[:i], base[i+len(".shard."):]
+		switch {
+		case suffix == "p":
+			return set, 0
+		case suffix == "q":
+			return set, 1
+		case strings.HasPrefix(suffix, "d"):
+			if v, err := strconv.Atoi(suffix[1:]); err == nil && v >= 0 {
+				return set, 2 + v
+			}
+		}
+	}
+	return base, 0
+}

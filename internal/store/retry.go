@@ -12,8 +12,10 @@ import (
 
 // RetryPolicy bounds and paces the retrying of transient store failures:
 // capped exponential backoff with multiplicative jitter, cancellable
-// between attempts through a context. The zero value retries nothing
-// (one attempt); DefaultRetry is the data path's default.
+// between attempts through a context, and — when AttemptTimeout is set —
+// a per-attempt deadline that abandons a hung call instead of waiting on
+// it forever. The zero value retries nothing (one attempt);
+// DefaultRetry is the data path's default.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first.
 	// Values below 1 mean 1 (no retries).
@@ -23,6 +25,15 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the per-retry delay. Zero means 64 × BaseBackoff.
 	MaxBackoff time.Duration
+	// AttemptTimeout, when positive, bounds each attempt: a call that
+	// has not returned by the deadline is abandoned and counted as a
+	// transient KindTimeout fault (retried like any other transient
+	// failure). The abandoned call keeps running in its own goroutine
+	// until the underlying store returns; reads go through a private
+	// buffer so a late completion can never scribble over a retried
+	// one. Zero disables per-attempt deadlines (no goroutine is spawned
+	// and behavior is identical to the historical policy).
+	AttemptTimeout time.Duration
 	// Jitter is the fraction of random extension added to each delay
 	// (0.5 → delays are uniform in [d, 1.5d]). Negative disables jitter;
 	// zero means 0.5.
@@ -31,8 +42,9 @@ type RetryPolicy struct {
 	// default seed — retries are reproducible unless the caller opts
 	// into variety).
 	Seed int64
-	// Sleep, when non-nil, replaces the real inter-attempt wait; tests
-	// inject a fake clock here. It must honor ctx cancellation.
+	// Sleep, when non-nil, replaces the real inter-attempt wait (and the
+	// AttemptTimeout timer); tests inject a fake clock here. It must
+	// honor ctx cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
 	// Registry, when non-nil, receives shard.retry.total /
 	// shard.retry.exhausted counters and the shard.retry.backoff
@@ -105,6 +117,58 @@ func SleepContext(ctx context.Context, d time.Duration) error {
 // active trace, every retry (and the exhaustion of the budget) is
 // emitted as a store.retry event attributed to the failing operation.
 func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	_, err := doValue(p, ctx, "", "", func() (struct{}, error) {
+		return struct{}{}, fn()
+	})
+	return err
+}
+
+// outcome carries one attempt's result out of its goroutine; the
+// accepted attempt's value is applied by the caller, so an abandoned
+// attempt completing late has nowhere to leak its result into.
+type outcome[T any] struct {
+	v   T
+	err error
+}
+
+// attemptOnce runs one attempt of fn, bounded by AttemptTimeout when the
+// policy sets one. On timeout the attempt's goroutine is abandoned (it
+// drains into its own buffered channel) and a transient KindTimeout
+// fault attributed to op/path is returned instead.
+func attemptOnce[T any](p RetryPolicy, ctx context.Context, op, path string, fn func() (T, error)) (T, error) {
+	if p.AttemptTimeout <= 0 {
+		return fn()
+	}
+	done := make(chan outcome[T], 1)
+	go func() {
+		v, err := fn()
+		done <- outcome[T]{v, err}
+	}()
+	timer := make(chan error, 1)
+	go func() { timer <- p.sleep(ctx, p.AttemptTimeout) }()
+	select {
+	case out := <-done:
+		return out.v, out.err
+	case serr := <-timer:
+		// The deadline and the attempt raced: prefer a result that is
+		// already in hand over declaring a timeout.
+		select {
+		case out := <-done:
+			return out.v, out.err
+		default:
+		}
+		var zero T
+		if serr != nil {
+			return zero, serr // cancelled mid-wait: surface the context error
+		}
+		return zero, NewTimeout(op, path, context.DeadlineExceeded)
+	}
+}
+
+// doValue is the generic retry loop behind Do and the wrapped store
+// operations: op/path attribute the store.retry events (and any timeout
+// faults) to the operation being retried.
+func doValue[T any](p RetryPolicy, ctx context.Context, op, path string, fn func() (T, error)) (T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -112,9 +176,9 @@ func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 	var rng *rand.Rand
 	backoff := p.base()
 	for attempt := 1; ; attempt++ {
-		err := fn()
+		v, err := attemptOnce(p, ctx, op, path, fn)
 		if err == nil || !IsTransient(err) {
-			return err
+			return v, err
 		}
 		if attempt >= attempts {
 			if attempts > 1 {
@@ -122,7 +186,7 @@ func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 				obs.EmitErr(ctx, slog.LevelError, "store.retry.exhausted", err,
 					append(faultAttrs(err), slog.Int("attempts", attempts))...)
 			}
-			return err
+			return v, err
 		}
 		d := backoff
 		if j := p.jitter(); j > 0 {
@@ -142,7 +206,7 @@ func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 				slog.Int("attempt", attempt),
 				slog.Duration("backoff", d))...)
 		if serr := p.sleep(ctx, d); serr != nil {
-			return serr
+			return v, serr
 		}
 		if backoff < p.cap() {
 			backoff *= 2
@@ -153,20 +217,26 @@ func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
 	}
 }
 
-// faultAttrs extracts the op/path attribution a classified *Fault
+// faultAttrs extracts the op/path/kind attribution a classified *Fault
 // carries, for retry events.
 func faultAttrs(err error) []obs.Attr {
 	var f *Fault
 	if !errors.As(err, &f) {
 		return nil
 	}
-	return []obs.Attr{slog.String("op", f.Op), slog.String("path", f.Path)}
+	attrs := []obs.Attr{slog.String("op", f.Op), slog.String("path", f.Path)}
+	if f.Kind != KindIO {
+		attrs = append(attrs, slog.String("kind", f.Kind.String()))
+	}
+	return attrs
 }
 
 // WithRetry wraps base so that every operation — including positional
 // reads and writes on the files it opens — retries transient failures
 // under the policy. Positional I/O makes the retries idempotent: a
-// retried WriteAt overwrites whatever a torn write left behind.
+// retried WriteAt overwrites whatever a torn write left behind, and a
+// retried post-timeout read lands in a fresh private buffer so an
+// abandoned attempt can never corrupt an accepted one.
 func WithRetry(base Store, ctx context.Context, p RetryPolicy) Store {
 	if ctx == nil {
 		ctx = context.Background()
@@ -181,72 +251,105 @@ type retryStore struct {
 }
 
 func (s *retryStore) Open(path string) (File, error) {
-	var f File
-	err := s.p.Do(s.ctx, func() (e error) {
-		f, e = s.base.Open(path)
-		return e
+	f, err := doValue(s.p, s.ctx, "open", path, func() (File, error) {
+		return s.base.Open(path)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &retryFile{f: f, ctx: s.ctx, p: s.p}, nil
+	return &retryFile{f: f, path: path, ctx: s.ctx, p: s.p}, nil
 }
 
 func (s *retryStore) Create(path string) (File, error) {
-	var f File
-	err := s.p.Do(s.ctx, func() (e error) {
-		f, e = s.base.Create(path)
-		return e
+	f, err := doValue(s.p, s.ctx, "create", path, func() (File, error) {
+		return s.base.Create(path)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &retryFile{f: f, ctx: s.ctx, p: s.p}, nil
+	return &retryFile{f: f, path: path, ctx: s.ctx, p: s.p}, nil
 }
 
 func (s *retryStore) Rename(oldPath, newPath string) error {
-	return s.p.Do(s.ctx, func() error { return s.base.Rename(oldPath, newPath) })
+	_, err := doValue(s.p, s.ctx, "rename", oldPath, func() (struct{}, error) {
+		return struct{}{}, s.base.Rename(oldPath, newPath)
+	})
+	return err
 }
 
 func (s *retryStore) Remove(path string) error {
-	return s.p.Do(s.ctx, func() error { return s.base.Remove(path) })
+	_, err := doValue(s.p, s.ctx, "remove", path, func() (struct{}, error) {
+		return struct{}{}, s.base.Remove(path)
+	})
+	return err
 }
 
 type retryFile struct {
-	f   File
-	ctx context.Context
-	p   RetryPolicy
+	f    File
+	path string
+	ctx  context.Context
+	p    RetryPolicy
+}
+
+// readResult is one bounded read attempt's private landing zone.
+type readResult struct {
+	n   int
+	buf []byte
 }
 
 func (f *retryFile) ReadAt(b []byte, off int64) (int, error) {
-	var n int
-	err := f.p.Do(f.ctx, func() (e error) {
-		n, e = f.f.ReadAt(b, off)
-		return e
+	if f.p.AttemptTimeout <= 0 {
+		var n int
+		err := f.p.Do(f.ctx, func() (e error) {
+			n, e = f.f.ReadAt(b, off)
+			return e
+		})
+		return n, err
+	}
+	// Deadline-bounded reads land in a per-attempt buffer: an abandoned
+	// attempt that completes late writes into memory nobody else holds,
+	// never into b while a retry is filling it.
+	out, err := doValue(f.p, f.ctx, "read", f.path, func() (readResult, error) {
+		buf := make([]byte, len(b))
+		n, e := f.f.ReadAt(buf, off)
+		return readResult{n: n, buf: buf}, e
 	})
-	return n, err
+	if out.buf != nil && out.n > 0 {
+		copy(b, out.buf[:out.n])
+	}
+	return out.n, err
 }
 
 func (f *retryFile) WriteAt(b []byte, off int64) (int, error) {
-	var n int
-	err := f.p.Do(f.ctx, func() (e error) {
-		n, e = f.f.WriteAt(b, off)
-		return e
+	if f.p.AttemptTimeout <= 0 {
+		var n int
+		err := f.p.Do(f.ctx, func() (e error) {
+			n, e = f.f.WriteAt(b, off)
+			return e
+		})
+		return n, err
+	}
+	// Deadline-bounded writes snapshot b per attempt: the caller may
+	// reuse its buffer the moment we return, but an abandoned attempt
+	// keeps reading its own copy.
+	out, err := doValue(f.p, f.ctx, "write", f.path, func() (int, error) {
+		buf := append([]byte(nil), b...)
+		return f.f.WriteAt(buf, off)
 	})
-	return n, err
+	return out, err
 }
 
 func (f *retryFile) Size() (int64, error) {
-	var n int64
-	err := f.p.Do(f.ctx, func() (e error) {
-		n, e = f.f.Size()
-		return e
+	return doValue(f.p, f.ctx, "size", f.path, func() (int64, error) {
+		return f.f.Size()
 	})
-	return n, err
 }
 
 func (f *retryFile) Sync() error {
-	return f.p.Do(f.ctx, func() error { return f.f.Sync() })
+	_, err := doValue(f.p, f.ctx, "sync", f.path, func() (struct{}, error) {
+		return struct{}{}, f.f.Sync()
+	})
+	return err
 }
 
 func (f *retryFile) Close() error { return f.f.Close() }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check verify conformance chaos chaos-nodes bench bench-obs bench-gate bench-correct bench-parallel bench-baseline race-obs monitor-soak clean
+.PHONY: all build test race vet fmt lint-metrics check verify conformance chaos chaos-nodes bench bench-obs bench-gate bench-correct bench-parallel bench-baseline race-obs monitor-soak clean
 
 all: build
 
@@ -25,12 +25,20 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: vet fmt test race
+# lint-metrics checks the emitted metric surface against the committed
+# catalog (docs/METRICS.json): every metric name + label key set in the
+# code must be declared, every declared entry must still be emitted,
+# and every label key must be in the bounded taxonomy. After changing
+# instrumentation, regenerate with `go run ./cmd/metriclint -write`.
+lint-metrics:
+	$(GO) run ./cmd/metriclint
+
+check: vet fmt lint-metrics test race
 
 # verify is the CI gate (see .github/workflows/verify.yml): the same
 # stages as check plus the registry conformance matrix, named separately
 # so CI and local habits can diverge later without repurposing either.
-verify: vet fmt test race conformance
+verify: vet fmt lint-metrics test race conformance
 
 # conformance runs the registry-driven matrices explicitly and verbosely:
 # the codetest battery and the full shard round-trip for every registered

@@ -71,16 +71,7 @@ func watchRound(client *http.Client, base string, w io.Writer) (monitor.Verdict,
 
 	fmt.Fprintf(w, "%s  health: %s  (%d firing, %d pending)\n",
 		h.At.Format(time.RFC3339), h.Verdict, h.Firing, h.Pending)
-	targets := make([]string, 0, len(h.Targets))
-	for name := range h.Targets {
-		targets = append(targets, name)
-	}
-	sort.Strings(targets)
-	for _, name := range targets {
-		if v := h.Targets[name]; v != monitor.Healthy {
-			fmt.Fprintf(w, "  %-10s %s\n", name, v)
-		}
-	}
+	writeTargetTable(w, h, ar)
 	for _, r := range h.Reasons {
 		fmt.Fprintf(w, "  - [%s] %s: %s\n", r.Severity, r.Target, r.Detail)
 	}
@@ -88,11 +79,54 @@ func watchRound(client *http.Client, base string, w io.Writer) (monitor.Verdict,
 		if a.State == monitor.StateOK {
 			continue
 		}
+		on := a.Rule.Metric
+		if a.Target != "" {
+			on += " [" + a.Target + "]"
+		}
 		fmt.Fprintf(w, "  ! %s %s on %s (value %.4g, since %s, trace %s)\n",
-			a.Rule.Name, a.State, a.Rule.Metric, a.Value,
+			a.Rule.Name, a.State, on, a.Value,
 			a.Since.Format(time.RFC3339), a.Trace)
 	}
 	return h.Verdict, nil
+}
+
+// writeTargetTable renders the per-node/per-disk drill-down: one row per
+// labeled health target (everything except the array-wide rollup), with
+// its verdict, how many alerts are firing against it, and the first
+// reason indicting it. Quiet targets the scorer knows about still get a
+// row, so a 4-node table shows 4 rows with one degraded, not just the
+// problem child.
+func writeTargetTable(w io.Writer, h monitor.Health, ar monitor.AlertsResponse) {
+	targets := make([]string, 0, len(h.Targets))
+	for name := range h.Targets {
+		if name != "array" {
+			targets = append(targets, name)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	sort.Strings(targets)
+	firing := map[string]int{}
+	for _, a := range ar.Alerts {
+		if a.State == monitor.StateFiring && a.Target != "" {
+			firing[a.Target]++
+		}
+	}
+	why := map[string]string{}
+	for _, r := range h.Reasons {
+		if _, seen := why[r.Target]; !seen {
+			why[r.Target] = r.Detail
+		}
+	}
+	fmt.Fprintf(w, "  %-12s %-10s %-7s %s\n", "target", "state", "alerts", "why")
+	for _, name := range targets {
+		alerts := "-"
+		if n := firing[name]; n > 0 {
+			alerts = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(w, "  %-12s %-10s %-7s %s\n", name, h.Targets[name], alerts, why[name])
+	}
 }
 
 // getAPI fetches one JSON endpoint into out.

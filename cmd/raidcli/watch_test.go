@@ -128,3 +128,39 @@ func TestWatchUsageAndErrors(t *testing.T) {
 		t.Errorf("bad JSON: exit %d, want %d", exitCode(err), exitFail)
 	}
 }
+
+// TestWatchDrillDown: labeled per-node movement renders the drill-down
+// table with one row per target, and targeted alerts attach to their
+// row. The exit-code contract is unchanged: a degraded node fails the
+// probe.
+func TestWatchDrillDown(t *testing.T) {
+	srv, reg, _, tick := watchServer(t)
+	tick()
+	reg.CountWith("store.hedge.fired", 3, obs.L("node", "1"))
+	reg.CountWith("raid.scrub.repairs", 1, obs.L("disk", "2"))
+	tick()
+
+	var buf bytes.Buffer
+	v, err := watchRound(srv.Client(), srv.URL, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != monitor.Degraded {
+		t.Fatalf("verdict = %v, want degraded (output %s)", v, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"target", "state", // table header
+		"node.1", "disk.2", "degraded",
+		"hedged reads",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("drill-down output missing %q:\n%s", want, out)
+		}
+	}
+
+	err = run("watch", []string{"-url", srv.URL, "-n", "1"})
+	if exitCode(err) != exitFail {
+		t.Errorf("degraded node: exit %d, want %d", exitCode(err), exitFail)
+	}
+}

@@ -59,7 +59,7 @@ type config struct {
 	seed      int64
 	flight    int           // flight-recorder ring size (0 = default)
 	interval  time.Duration // monitor sampling interval (0 = default)
-	rules     string        // alert rules file ("" = built-in defaults)
+	rules     string        // alert rules + SLOs file ("" = built-in defaults)
 	window    int           // time-series ring size in samples (0 = default)
 }
 
@@ -144,8 +144,9 @@ func newMonitor(cfg config) (*server, error) {
 	// The monitoring plane: sample the registry on an interval, evaluate
 	// alert rules, and serve queries, alerts, and health over /api/v1.
 	rules := monitor.DefaultRules()
+	var slos []monitor.SLO
 	if cfg.rules != "" {
-		if rules, err = monitor.LoadRules(cfg.rules); err != nil {
+		if rules, slos, err = monitor.LoadDoc(cfg.rules); err != nil {
 			return nil, err
 		}
 	}
@@ -154,6 +155,7 @@ func newMonitor(cfg config) (*server, error) {
 		Interval: cfg.interval,
 		Window:   cfg.window,
 		Rules:    rules,
+		SLOs:     slos,
 		Tracer:   m.tracer,
 		Runtime:  true,
 	})
@@ -269,7 +271,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		flight   = flag.Int("flight", obs.DefaultFlightSize, "flight-recorder ring size (events)")
 		interval = flag.Duration("sample-interval", monitor.DefaultInterval, "monitoring plane sampling interval")
-		rules    = flag.String("rules", "", "alert rules JSON file (default: built-in rules)")
+		rules    = flag.String("rules", "", "alert rules + SLOs JSON file (default: built-in rules)")
 		window   = flag.Int("window", monitor.DefaultWindow, "time-series ring size in samples")
 	)
 	flag.Parse()

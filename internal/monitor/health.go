@@ -3,8 +3,9 @@ package monitor
 import (
 	"encoding/json"
 	"fmt"
-	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Verdict is the health scorer's per-target conclusion.
@@ -103,9 +104,28 @@ var healthSignals = []healthSignal{
 	{"shard.repair.errors", Critical, "repair failures"},
 }
 
-// scrubDiskPrefix roots the per-disk scrub repair counters raidsim
-// emits; increases become per-disk reasons and targets.
-const scrubDiskPrefix = "raid.scrub.repairs.disk."
+// labeledSignal is one labeled counter family whose per-child movement
+// indicts the child's target: an increase on base{key="V"} becomes a
+// reason (and sub-verdict) for target "key.V" instead of the whole
+// array.
+type labeledSignal struct {
+	base     string
+	key      string
+	severity Verdict
+	what     string
+}
+
+// labeledSignals is the per-target half of the degradation ladder. The
+// emitters attach the disk/node label at the source, so the scorer
+// never parses series names — it selects children by label key.
+var labeledSignals = []labeledSignal{
+	{"raid.scrub.repairs", "disk", Degraded, "scrub corruption repairs"},
+	{"nodestore.down.total", "node", Degraded, "operations refused by a down node"},
+	{"nodestore.timeout.total", "node", Degraded, "node deadline timeouts"},
+	{"store.hedge.fired", "node", Degraded, "hedged reads fired against a slow node"},
+	{"nodestore.replaced.total", "node", Degraded, "shards re-placed off a node"},
+	{"store.breaker.open.total", "node", Critical, "node circuit breaker tripped"},
+}
 
 // Score folds the alert states and the degradation-ladder counters into
 // a verdict as of now, looking back window for counter movement. The
@@ -142,12 +162,16 @@ func Score(ts *TSStore, alerts []Alert, window time.Duration, now time.Time) Hea
 			if a.Rule.severity() == SeverityCritical {
 				sev = Critical
 			}
+			target := a.Target
+			if target == "" {
+				target = "array"
+			}
 			addReason(Reason{
-				Target:   "array",
+				Target:   target,
 				Severity: sev,
 				Metric:   a.Rule.Metric,
-				Detail: fmt.Sprintf("alert %s firing: %s %s %s %g (value %.4g, since %s)",
-					a.Rule.Name, a.Rule.Metric, a.Rule.kind(), a.Rule.op(), a.Rule.Value,
+				Detail: fmt.Sprintf("alert %s firing on %s: %s %s %s %g (value %.4g, since %s)",
+					a.Rule.Name, target, a.Rule.Metric, a.Rule.kind(), a.Rule.op(), a.Rule.Value,
 					a.Value, a.Since.Format(time.RFC3339)),
 			})
 		case StatePending:
@@ -169,22 +193,30 @@ func Score(ts *TSStore, alerts []Alert, window time.Duration, now time.Time) Hea
 					sig.what, sig.metric, inc, window),
 			})
 		}
-		for _, name := range ts.Names() {
-			disk, found := strings.CutPrefix(name, scrubDiskPrefix)
-			if !found {
-				continue
+		for _, sig := range labeledSignals {
+			for _, name := range ts.Select(sig.base, nil) {
+				_, labels := obs.SplitSeries(name)
+				value := ""
+				for _, l := range labels {
+					if l.Key == sig.key {
+						value = l.Value
+					}
+				}
+				if value == "" {
+					continue
+				}
+				inc, ok := ts.Increase(name, window, now)
+				if !ok || inc <= 0 {
+					continue
+				}
+				addReason(Reason{
+					Target:   sig.key + "." + value,
+					Severity: sig.severity,
+					Metric:   name,
+					Detail: fmt.Sprintf("%s: %s rose by %g in the last %s",
+						sig.what, name, inc, window),
+				})
 			}
-			inc, ok := ts.Increase(name, window, now)
-			if !ok || inc <= 0 {
-				continue
-			}
-			addReason(Reason{
-				Target:   "disk." + disk,
-				Severity: Degraded,
-				Metric:   name,
-				Detail: fmt.Sprintf("scrub repaired %g corrupt elements on disk %s in the last %s",
-					inc, disk, window),
-			})
 		}
 	}
 	return h

@@ -96,7 +96,7 @@ func TestHealthPerDiskTargets(t *testing.T) {
 	c := newClock()
 	sample(ts, reg, c)
 	c.Advance(time.Second)
-	reg.Count("raid.scrub.repairs.disk.3", 4)
+	reg.CountWith("raid.scrub.repairs", 4, obs.L("disk", "3"))
 	sample(ts, reg, c)
 	h := Score(ts, nil, time.Minute, c.Now())
 	if h.Targets["disk.3"] != Degraded {
@@ -107,12 +107,44 @@ func TestHealthPerDiskTargets(t *testing.T) {
 	}
 	found := false
 	for _, r := range h.Reasons {
-		if r.Target == "disk.3" && strings.Contains(r.Detail, "disk 3") {
+		if r.Target == "disk.3" && strings.Contains(r.Detail, `raid.scrub.repairs{disk="3"}`) {
 			found = true
 		}
 	}
 	if !found {
 		t.Errorf("no per-disk reason in %+v", h.Reasons)
+	}
+}
+
+// TestHealthPerNodeTargets: labeled nodestore counters indict their
+// node, and a firing alert with a Target indicts that target instead of
+// the array.
+func TestHealthPerNodeTargets(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(8)
+	c := newClock()
+	sample(ts, reg, c)
+	c.Advance(time.Second)
+	reg.CountWith("store.hedge.fired", 2, obs.L("node", "1"))
+	reg.CountWith("store.breaker.open.total", 1, obs.L("node", "2"))
+	sample(ts, reg, c)
+	alerts := []Alert{{
+		Rule:   Rule{Name: "lat-fast-burn", Metric: "store.node.seconds.count", Severity: SeverityCritical},
+		State:  StateFiring,
+		Target: "node.3",
+	}}
+	h := Score(ts, alerts, time.Minute, c.Now())
+	if h.Targets["node.1"] != Degraded {
+		t.Errorf("node.1 = %v, want degraded (hedges)", h.Targets["node.1"])
+	}
+	if h.Targets["node.2"] != Critical {
+		t.Errorf("node.2 = %v, want critical (breaker)", h.Targets["node.2"])
+	}
+	if h.Targets["node.3"] != Critical {
+		t.Errorf("node.3 = %v, want critical (targeted alert)", h.Targets["node.3"])
+	}
+	if h.Verdict != Critical || h.Targets["array"] != Critical {
+		t.Errorf("verdict = %v array = %v, want critical", h.Verdict, h.Targets["array"])
 	}
 }
 

@@ -3,7 +3,10 @@ package monitor
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The monitoring plane's HTTP surface, mounted under /api/v1:
@@ -15,14 +18,18 @@ import (
 // Everything is JSON; queries are safe to run while the monitor ticks.
 
 // QueryResponse is the /api/v1/query payload: Points for fn=range,
-// Value for the scalar aggregations.
+// Value for the scalar aggregations, Groups for ?by= group-by queries.
+// Series lists the canonical labeled series a ?label= selector resolved
+// to.
 type QueryResponse struct {
-	Metric string   `json:"metric"`
-	Kind   string   `json:"kind"`
-	Fn     string   `json:"fn"`
-	Window Duration `json:"window,omitempty"`
-	Points []Point  `json:"points,omitempty"`
-	Value  *float64 `json:"value,omitempty"`
+	Metric string             `json:"metric"`
+	Kind   string             `json:"kind"`
+	Fn     string             `json:"fn"`
+	Window Duration           `json:"window,omitempty"`
+	Points []Point            `json:"points,omitempty"`
+	Value  *float64           `json:"value,omitempty"`
+	Series []string           `json:"series,omitempty"`
+	Groups map[string]float64 `json:"groups,omitempty"`
 }
 
 // AlertsResponse is the /api/v1/alerts payload.
@@ -46,40 +53,95 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-// QueryHandler serves one series per request:
+// QueryHandler serves one query per request:
 //
-//	?metric=NAME            required: the series name
+//	?metric=NAME            required: the series (or labeled family) name
 //	&fn=range|rate|increase|avg|max|last   default range
 //	&window=30s             aggregation window (scalar fns; also caps range)
+//	&label=key=value        repeatable: select labeled children of metric
+//	&by=key                 group a scalar fn by one label key
 //
-// Unknown metrics return 404 so a dashboard can distinguish "no such
-// series" from "series at zero".
+// A ?label= selector that resolves to exactly one child behaves as if
+// that child's canonical name had been queried directly; a selector
+// matching several children supports the summable fns (rate, increase)
+// across them. Unknown metrics — and label selectors matching no live
+// series — return 404 so a dashboard can distinguish "no such series"
+// from "series at zero".
 func (m *Monitor) QueryHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		name := req.URL.Query().Get("metric")
+		q := req.URL.Query()
+		name := q.Get("metric")
 		if name == "" {
 			http.Error(w, "missing ?metric=", http.StatusBadRequest)
 			return
 		}
-		fn := req.URL.Query().Get("fn")
+		fn := q.Get("fn")
 		if fn == "" {
 			fn = "range"
 		}
 		var window time.Duration
-		if ws := req.URL.Query().Get("window"); ws != "" {
+		if ws := q.Get("window"); ws != "" {
 			var err error
 			if window, err = time.ParseDuration(ws); err != nil {
 				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
 				return
 			}
 		}
+		var match []obs.Label
+		for _, lp := range q["label"] {
+			k, v, ok := strings.Cut(lp, "=")
+			if !ok || k == "" {
+				http.Error(w, "bad label selector "+lp+" (want key=value)", http.StatusBadRequest)
+				return
+			}
+			match = append(match, obs.L(k, v))
+		}
+		now := m.ts.LastSample()
+
+		if by := q.Get("by"); by != "" {
+			m.serveGroupBy(w, name, fn, by, match, window, now)
+			return
+		}
+
+		resp := QueryResponse{Metric: name, Fn: fn, Window: Duration(window)}
+		if len(match) > 0 {
+			sel := m.ts.Select(name, match)
+			if len(sel) == 0 {
+				http.Error(w, "no series of "+name+" match the label selector", http.StatusNotFound)
+				return
+			}
+			resp.Series = sel
+			if len(sel) == 1 {
+				name = sel[0] // unique child: fall through to the single-series path
+			} else {
+				switch fn {
+				case "rate":
+					if v, ok := m.ts.RateMatched(name, match, window, now); ok {
+						resp.Value = &v
+					}
+				case "increase":
+					if v, ok := m.ts.IncreaseMatched(name, match, window, now); ok {
+						resp.Value = &v
+					}
+				default:
+					http.Error(w, "fn "+fn+" needs a unique series; selector matched "+
+						"several (use fn=rate|increase or &by=)", http.StatusBadRequest)
+					return
+				}
+				kind, _ := m.ts.Kind(sel[0])
+				resp.Kind = kind.String()
+				writeJSON(w, resp)
+				return
+			}
+		}
+
 		kind, exists := m.ts.Kind(name)
 		if !exists {
 			http.Error(w, "unknown metric "+name, http.StatusNotFound)
 			return
 		}
-		now := m.ts.LastSample()
-		resp := QueryResponse{Metric: name, Kind: kind.String(), Fn: fn, Window: Duration(window)}
+		resp.Metric = name
+		resp.Kind = kind.String()
 		scalar := func(v float64, ok bool) {
 			if ok {
 				resp.Value = &v
@@ -114,6 +176,42 @@ func (m *Monitor) QueryHandler() http.Handler {
 		}
 		writeJSON(w, resp)
 	})
+}
+
+// serveGroupBy answers ?by=key queries: one scalar per value the key
+// takes across the metric's labeled children (scoped by any additional
+// ?label= selectors).
+func (m *Monitor) serveGroupBy(w http.ResponseWriter, name, fn, by string, match []obs.Label, window time.Duration, now time.Time) {
+	vals := m.ts.LabelValues(name, by)
+	if len(vals) == 0 {
+		http.Error(w, "metric "+name+" has no series labeled by "+by, http.StatusNotFound)
+		return
+	}
+	resp := QueryResponse{Metric: name, Kind: KindCounter.String(), Fn: fn,
+		Window: Duration(window), Groups: map[string]float64{}}
+	for _, v := range vals {
+		sel := append(append([]obs.Label{}, match...), obs.L(by, v))
+		var val float64
+		var ok bool
+		switch fn {
+		case "rate":
+			val, ok = m.ts.RateMatched(name, sel, window, now)
+		case "increase", "range", "": // range degrades to increase under by=
+			val, ok = m.ts.IncreaseMatched(name, sel, window, now)
+			resp.Fn = "increase"
+		default:
+			http.Error(w, "fn "+fn+" does not support &by= (use rate or increase)", http.StatusBadRequest)
+			return
+		}
+		if ok {
+			resp.Groups[v] = val
+		}
+	}
+	if len(resp.Groups) == 0 {
+		http.Error(w, "no series of "+name+" match the label selector", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 // AlertsHandler serves every rule's current state.

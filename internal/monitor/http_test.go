@@ -237,3 +237,74 @@ func TestMonitorRunLoop(t *testing.T) {
 		t.Errorf("run loop ticked %d times in 2s, want >= 3", m.Store().Rounds())
 	}
 }
+
+// TestQueryLabelSelectors covers ?label= and ?by=: unique-child
+// resolution, multi-child summing, group-by, and the 404 on an unknown
+// label value.
+func TestQueryLabelSelectors(t *testing.T) {
+	m, reg, c := newTestMonitor(t, nil)
+	for i := 0; i < 3; i++ {
+		reg.CountWith("nodestore.down.total", 2, obs.L("node", "1"))
+		reg.CountWith("nodestore.down.total", 1, obs.L("node", "3"))
+		m.Tick()
+		c.Advance(time.Second)
+	}
+	mux := http.NewServeMux()
+	m.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Unique child: behaves like querying the canonical name directly.
+	var qr QueryResponse
+	if code := getJSON(t, srv, "/api/v1/query?metric=nodestore.down.total&label=node=3&fn=increase&window=2s", &qr); code != 200 {
+		t.Fatalf("unique-child query: status %d", code)
+	}
+	if qr.Value == nil || *qr.Value != 2 {
+		t.Errorf("node=3 increase = %v, want 2 (1/s over 2s)", qr.Value)
+	}
+	if len(qr.Series) != 1 || qr.Series[0] != `nodestore.down.total{node="3"}` {
+		t.Errorf("series = %v, want the canonical child", qr.Series)
+	}
+
+	// Range through a unique selector returns that child's points.
+	if getJSON(t, srv, "/api/v1/query?metric=nodestore.down.total&label=node=1", &qr); len(qr.Points) != 3 || qr.Points[1].V != 2 {
+		t.Errorf("labeled range = %+v, want 3 deltas of 2", qr.Points)
+	}
+
+	// Multi-child selector sums for the summable fns...
+	reg.CountWith("store.io", 4, obs.L("op", "read"), obs.L("node", "1"))
+	reg.CountWith("store.io", 6, obs.L("op", "read"), obs.L("node", "3"))
+	m.Tick()
+	if getJSON(t, srv, "/api/v1/query?metric=store.io&label=op=read&fn=increase&window=2s", &qr); qr.Value == nil || *qr.Value != 10 {
+		t.Errorf("summed increase = %v, want 10", qr.Value)
+	}
+	// ...and rejects ambiguous point fns.
+	if code := getJSON(t, srv, "/api/v1/query?metric=store.io&label=op=read&fn=last", nil); code != 400 {
+		t.Errorf("ambiguous fn=last: status %d, want 400", code)
+	}
+
+	// Group-by: one scalar per label value.
+	if code := getJSON(t, srv, "/api/v1/query?metric=nodestore.down.total&by=node&fn=increase&window=2s", &qr); code != 200 {
+		t.Fatalf("group-by: status %d", code)
+	}
+	// Window (t3-2s, t3] holds the rounds at t2 and t3: node=1 moved by
+	// 2 in the t2 round and was flat in the extra t3 tick.
+	if qr.Groups["1"] != 2 || qr.Groups["3"] != 1 {
+		t.Errorf("groups = %v, want 1:2 3:1", qr.Groups)
+	}
+
+	// Unknown label value: 404, distinguishable from a zero series.
+	if code := getJSON(t, srv, "/api/v1/query?metric=nodestore.down.total&label=node=99", nil); code != 404 {
+		t.Errorf("unknown label value: status %d, want 404", code)
+	}
+	// Malformed selector: 400.
+	if code := getJSON(t, srv, "/api/v1/query?metric=nodestore.down.total&label=node", nil); code != 400 {
+		t.Errorf("malformed selector: status %d, want 400", code)
+	}
+	// Group-by on an unlabeled metric: 404.
+	reg.Count("plain.total", 1)
+	m.Tick()
+	if code := getJSON(t, srv, "/api/v1/query?metric=plain.total&by=node", nil); code != 404 {
+		t.Errorf("by= on unlabeled metric: status %d, want 404", code)
+	}
+}

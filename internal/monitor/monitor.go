@@ -42,6 +42,10 @@ type Config struct {
 	Window int
 	// Rules are the alert rules evaluated after every sample.
 	Rules []Rule
+	// SLOs are declarative objectives compiled into multi-window
+	// burn-rate rules appended after Rules; latency objectives register
+	// their histograms for per-bucket series tracking automatically.
+	SLOs []SLO
 	// Tracer receives the alert transition events (optional).
 	Tracer *obs.Tracer
 	// Now is the clock (time.Now when nil); tests inject a fake.
@@ -83,9 +87,15 @@ type Monitor struct {
 	lastNow time.Time
 }
 
-// New validates the rules and assembles a monitor.
+// New validates the rules, compiles the SLOs, and assembles a monitor.
 func New(cfg Config) (*Monitor, error) {
-	eng, err := NewEngine(cfg.Rules, cfg.Tracer, cfg.Registry)
+	rules := cfg.Rules
+	sloRules, trackBases, err := CompileSLOs(cfg.SLOs)
+	if err != nil {
+		return nil, err
+	}
+	rules = append(append([]Rule{}, rules...), sloRules...)
+	eng, err := NewEngine(rules, cfg.Tracer, cfg.Registry)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +104,7 @@ func New(cfg Config) (*Monitor, error) {
 		ts:  NewTSStore(cfg.Window),
 		eng: eng,
 	}
+	m.ts.TrackBuckets(trackBases...)
 	if cfg.Runtime {
 		m.runtime = obs.NewRuntimeSampler(cfg.Registry)
 	}

@@ -1,6 +1,11 @@
 package monitor
 
-import "time"
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // The query layer: range fetches and windowed aggregations over the
 // store's series. Windows are half-open (now-window, now] — a sample
@@ -105,6 +110,85 @@ func (ts *TSStore) Avg(name string, window time.Duration, now time.Time) (float6
 		sum += p.V
 	}
 	return sum / float64(len(pts)), true
+}
+
+// Select returns the sorted canonical names of the labeled children of
+// base whose label sets contain every label in match (an empty or nil
+// match selects every child). The bare aggregate series and dotted
+// flat-name aliases are never selected — only true `base{...}` children —
+// so summing over a selection cannot double-bill an event.
+func (ts *TSStore) Select(base string, match []obs.Label) []string {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	var out []string
+	for name := range ts.series {
+		b, labels := obs.SplitSeries(name)
+		if b != base || len(labels) == 0 {
+			continue
+		}
+		if obs.HasLabels(labels, match) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LabelValues returns the sorted distinct values the given label key
+// takes across base's children.
+func (ts *TSStore) LabelValues(base, key string) []string {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	seen := map[string]bool{}
+	for name := range ts.series {
+		b, labels := obs.SplitSeries(name)
+		if b != base {
+			continue
+		}
+		for _, l := range labels {
+			if l.Key == key {
+				seen[l.Value] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IncreaseMatched returns the summed Increase over (now-window, now] of
+// the series selected by (base, match). A nil match queries exactly the
+// named series (which may itself be a canonical labeled name); a
+// non-empty match sums across the matching labeled children. ok is false
+// when nothing matched or no matched series held in-window samples.
+func (ts *TSStore) IncreaseMatched(base string, match []obs.Label, window time.Duration, now time.Time) (float64, bool) {
+	if len(match) == 0 {
+		return ts.Increase(base, window, now)
+	}
+	sum, any := 0.0, false
+	for _, name := range ts.Select(base, match) {
+		if v, ok := ts.Increase(name, window, now); ok {
+			sum += v
+			any = true
+		}
+	}
+	return sum, any
+}
+
+// RateMatched is IncreaseMatched divided by the window length in seconds.
+func (ts *TSStore) RateMatched(base string, match []obs.Label, window time.Duration, now time.Time) (float64, bool) {
+	inc, ok := ts.IncreaseMatched(base, match, window, now)
+	if !ok {
+		return 0, false
+	}
+	secs := window.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	return inc / secs, true
 }
 
 // Max returns the largest in-window sample.

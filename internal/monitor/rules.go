@@ -53,6 +53,13 @@ const (
 	// KindRate compares the per-second rate of a counter over Window —
 	// the burn-rate form.
 	RuleRate = "rate"
+	// RuleBurnRate compares an SLO burn rate: the fraction of the error
+	// budget being consumed per unit budget, computed from a good/total
+	// (or bad/total) counter pair. The rule's value is
+	// min(burn(Window), burn(ShortWindow)) — the multi-window form, which
+	// only triggers while the budget is burning both recently and
+	// persistently.
+	RuleBurnRate = "burnrate"
 )
 
 // Rule severities, in escalation order.
@@ -90,6 +97,26 @@ type Rule struct {
 	// the event level of the firing transition and the health verdict a
 	// firing alert implies.
 	Severity string `json:"severity,omitempty"`
+
+	// By fans the rule out per label value: the rule is evaluated once
+	// for every value the By key takes across the metric's labeled
+	// children, each with its own alert lifecycle and a Target of
+	// "<By>.<value>" (e.g. "node.3"). New label values are discovered on
+	// every evaluation round.
+	By string `json:"by,omitempty"`
+
+	// Burn-rate rules (Kind == RuleBurnRate) derive their value from a
+	// counter pair instead of Metric: Total names the total-events series
+	// and either Good (events within objective) or Bad (events violating
+	// it) names the numerator's complement. Budget is the error budget as
+	// a fraction (1 - objective); ShortWindow is the fast window of the
+	// multi-window form (0 = long window only). Value is then the burn
+	// factor threshold: budget consumption per unit budget.
+	Good        string   `json:"good,omitempty"`
+	Bad         string   `json:"bad,omitempty"`
+	Total       string   `json:"total,omitempty"`
+	Budget      float64  `json:"budget,omitempty"`
+	ShortWindow Duration `json:"short_window,omitempty"`
 }
 
 func (r Rule) severity() string {
@@ -113,18 +140,44 @@ func (r Rule) op() string {
 	return r.Op
 }
 
+// discoveryMetric is the series whose label values enumerate a By
+// rule's targets.
+func (r Rule) discoveryMetric() string {
+	if r.kind() == RuleBurnRate {
+		return r.Total
+	}
+	return r.Metric
+}
+
 func (r Rule) validate() error {
 	if r.Name == "" {
 		return fmt.Errorf("monitor: rule without a name")
 	}
-	if r.Metric == "" {
-		return fmt.Errorf("monitor: rule %q names no metric", r.Name)
-	}
 	switch r.kind() {
 	case RuleThreshold, RuleRate:
+		if r.Metric == "" {
+			return fmt.Errorf("monitor: rule %q names no metric", r.Name)
+		}
+	case RuleBurnRate:
+		if r.Total == "" {
+			return fmt.Errorf("monitor: burnrate rule %q names no total series", r.Name)
+		}
+		if (r.Good == "") == (r.Bad == "") {
+			return fmt.Errorf("monitor: burnrate rule %q needs exactly one of good or bad", r.Name)
+		}
+		if r.Budget <= 0 || r.Budget >= 1 {
+			return fmt.Errorf("monitor: burnrate rule %q needs a budget in (0, 1), got %g",
+				r.Name, r.Budget)
+		}
+		if r.Window <= 0 {
+			return fmt.Errorf("monitor: burnrate rule %q needs a window", r.Name)
+		}
+		if r.ShortWindow < 0 || r.ShortWindow >= r.Window {
+			return fmt.Errorf("monitor: burnrate rule %q short window must sit inside the window", r.Name)
+		}
 	default:
-		return fmt.Errorf("monitor: rule %q has unknown kind %q (want %s or %s)",
-			r.Name, r.Kind, RuleThreshold, RuleRate)
+		return fmt.Errorf("monitor: rule %q has unknown kind %q (want %s, %s or %s)",
+			r.Name, r.Kind, RuleThreshold, RuleRate, RuleBurnRate)
 	}
 	if r.kind() == RuleRate && r.Window <= 0 {
 		return fmt.Errorf("monitor: rate rule %q needs a window", r.Name)
@@ -150,38 +203,57 @@ func (r Rule) validate() error {
 }
 
 // ParseRules reads a JSON rules document: either a bare array of rules
-// or an object {"rules": [...]}.
+// or an object {"rules": [...]}. Any "slos" key is ignored; use
+// ParseDoc to read both halves.
 func ParseRules(r io.Reader) ([]Rule, error) {
+	rules, _, err := ParseDoc(r)
+	return rules, err
+}
+
+// ParseDoc reads the full declarative alerting document: either a bare
+// array of rules, or an object {"rules": [...], "slos": [...]} where
+// each SLO compiles into its burn-rate rule pair at monitor.New time.
+// Rules are validated here; SLO validation happens at compile time so
+// hand-built monitor.Config{SLOs: ...} goes through the same checks.
+func ParseDoc(r io.Reader) ([]Rule, []SLO, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var rules []Rule
+	var slos []SLO
 	if err := json.Unmarshal(data, &rules); err != nil {
 		var doc struct {
 			Rules []Rule `json:"rules"`
+			SLOs  []SLO  `json:"slos"`
 		}
 		if derr := json.Unmarshal(data, &doc); derr != nil {
-			return nil, fmt.Errorf("monitor: parsing rules: %w", err)
+			return nil, nil, fmt.Errorf("monitor: parsing rules: %w", err)
 		}
-		rules = doc.Rules
+		rules, slos = doc.Rules, doc.SLOs
 	}
 	for _, r := range rules {
 		if err := r.validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return rules, nil
+	return rules, slos, nil
 }
 
 // LoadRules reads a rules file (see ParseRules).
 func LoadRules(path string) ([]Rule, error) {
+	rules, _, err := LoadDoc(path)
+	return rules, err
+}
+
+// LoadDoc reads a rules-and-SLOs file (see ParseDoc).
+func LoadDoc(path string) ([]Rule, []SLO, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return ParseRules(f)
+	return ParseDoc(f)
 }
 
 // State is an alert's position in its lifecycle.
@@ -236,6 +308,9 @@ type Transition struct {
 	At    time.Time `json:"at"`
 	Value float64   `json:"value"`
 	Trace string    `json:"trace,omitempty"`
+	// Target is the fan-out target of a By rule ("node.3"); empty for
+	// array-wide rules.
+	Target string `json:"target,omitempty"`
 }
 
 // An Alert is the queryable state of one rule.
@@ -256,6 +331,10 @@ type Alert struct {
 	Trace string `json:"trace,omitempty"`
 	// Transitions counts lifetime state changes of this rule.
 	Transitions uint64 `json:"transitions"`
+	// Target is the fan-out target this alert instance watches ("node.3"
+	// for a By rule); empty for array-wide rules. Health scoring indicts
+	// the target instead of the whole array.
+	Target string `json:"target,omitempty"`
 }
 
 // alertState is the engine's mutable per-rule state. The episode trace
@@ -264,6 +343,8 @@ type Alert struct {
 // causally-correlated trace.
 type alertState struct {
 	rule        Rule
+	target      string      // "node.3" for By-rule children, "" otherwise
+	labels      []obs.Label // label selector pinning the child's series
 	state       State
 	since       time.Time
 	value       float64
@@ -276,6 +357,16 @@ type alertState struct {
 	trace string
 }
 
+// ruleStates is one configured rule's alert state: a single lifecycle
+// for array-wide rules, one lazily-discovered lifecycle per label value
+// for By rules.
+type ruleStates struct {
+	rule     Rule
+	solo     *alertState            // By == ""
+	kids     map[string]*alertState // By != "": label value -> state
+	kidOrder []string               // discovery order, for stable output
+}
+
 // Engine evaluates a fixed rule set against a TSStore, driving each
 // rule's ok → pending → firing → resolved lifecycle and emitting every
 // transition as a typed event into the trace layer (and as
@@ -283,7 +374,7 @@ type alertState struct {
 // by the engine's lock; Alerts may be called concurrently.
 type Engine struct {
 	mu     sync.Mutex
-	states []*alertState
+	rules  []*ruleStates
 	tracer *obs.Tracer
 	reg    *obs.Registry
 }
@@ -303,35 +394,96 @@ func NewEngine(rules []Rule, tracer *obs.Tracer, reg *obs.Registry) (*Engine, er
 			return nil, fmt.Errorf("monitor: duplicate rule name %q", r.Name)
 		}
 		seen[r.Name] = true
-		e.states = append(e.states, &alertState{rule: r})
+		rs := &ruleStates{rule: r}
+		if r.By == "" {
+			rs.solo = &alertState{rule: r}
+		} else {
+			rs.kids = make(map[string]*alertState)
+		}
+		e.rules = append(e.rules, rs)
 	}
 	return e, nil
 }
 
-// evalValue resolves a rule's comparison value from the store. ok is
+// seriesFor resolves the concrete series name a (possibly fanned-out)
+// state evaluates: the bare name for array-wide rules, the canonical
+// labeled child for By children.
+func seriesFor(base string, labels []obs.Label) string {
+	return obs.SeriesName(base, labels)
+}
+
+// evalValue resolves a state's comparison value from the store. ok is
 // false when the series has no usable samples (the condition is then
 // treated as false).
-func evalValue(ts *TSStore, r Rule, now time.Time) (float64, bool) {
+func evalValue(ts *TSStore, r Rule, labels []obs.Label, now time.Time) (float64, bool) {
 	window := time.Duration(r.Window)
-	if r.kind() == RuleRate {
-		return ts.Rate(r.Metric, window, now)
+	if r.kind() == RuleBurnRate {
+		return evalBurn(ts, r, labels, now)
 	}
-	kind, exists := ts.Kind(r.Metric)
+	name := seriesFor(r.Metric, labels)
+	if r.kind() == RuleRate {
+		return ts.Rate(name, window, now)
+	}
+	kind, exists := ts.Kind(name)
 	if !exists {
 		return 0, false
 	}
 	if kind == KindGauge {
 		switch r.Agg {
 		case "avg":
-			return ts.Avg(r.Metric, window, now)
+			return ts.Avg(name, window, now)
 		case "max":
-			return ts.Max(r.Metric, window, now)
+			return ts.Max(name, window, now)
 		default:
-			p, ok := ts.Last(r.Metric)
+			p, ok := ts.Last(name)
 			return p.V, ok
 		}
 	}
-	return ts.Increase(r.Metric, window, now)
+	return ts.Increase(name, window, now)
+}
+
+// evalBurn computes a burn-rate rule's value: budget consumption per
+// unit budget over the long window, clamped by the short window when one
+// is configured — min(burnLong, burnShort) only exceeds the threshold
+// while the burn is both persistent and still happening.
+func evalBurn(ts *TSStore, r Rule, labels []obs.Label, now time.Time) (float64, bool) {
+	long, ok := burnOver(ts, r, labels, time.Duration(r.Window), now)
+	if !ok {
+		return 0, false
+	}
+	if r.ShortWindow <= 0 {
+		return long, true
+	}
+	short, ok := burnOver(ts, r, labels, time.Duration(r.ShortWindow), now)
+	if !ok {
+		short = 0 // no recent events: nothing is burning right now
+	}
+	if short < long {
+		return short, true
+	}
+	return long, true
+}
+
+// burnOver is the burn rate over one window: (bad events / total
+// events) / budget. ok is false when the total series has no in-window
+// movement — an idle service consumes no budget.
+func burnOver(ts *TSStore, r Rule, labels []obs.Label, window time.Duration, now time.Time) (float64, bool) {
+	total, ok := ts.Increase(seriesFor(r.Total, labels), window, now)
+	if !ok || total <= 0 {
+		return 0, false
+	}
+	var bad float64
+	if r.Bad != "" {
+		// A bad-events series that does not exist yet means zero bad events.
+		bad, _ = ts.Increase(seriesFor(r.Bad, labels), window, now)
+	} else {
+		good, _ := ts.Increase(seriesFor(r.Good, labels), window, now)
+		bad = total - good
+	}
+	if bad < 0 {
+		bad = 0
+	}
+	return (bad / total) / r.Budget, true
 }
 
 func compare(v float64, op string, threshold float64) bool {
@@ -354,46 +506,80 @@ func compare(v float64, op string, threshold float64) bool {
 }
 
 // Eval runs one evaluation round at now and returns the transitions it
-// caused, in rule order. A rule whose For has already been satisfied
-// when it first triggers still passes through pending: both transitions
-// are emitted in the same round.
+// caused, in rule order (By-rule children in discovery order within
+// their rule). A rule whose For has already been satisfied when it
+// first triggers still passes through pending: both transitions are
+// emitted in the same round.
 func (e *Engine) Eval(ts *TSStore, now time.Time) []Transition {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var out []Transition
 	firing := 0
-	for _, st := range e.states {
-		v, ok := evalValue(ts, st.rule, now)
-		cond := ok && compare(v, st.rule.op(), st.rule.Value)
-		st.value = v
-		switch st.state {
-		case StateOK:
-			if cond {
-				e.beginEpisode(st)
-				out = append(out, e.transition(st, StatePending, "pending", now, v))
-				if now.Sub(st.since) >= time.Duration(st.rule.For) {
-					out = append(out, e.transition(st, StateFiring, "firing", now, v))
-				}
+	for _, rs := range e.rules {
+		for _, st := range rs.statesAt(ts) {
+			out = e.evalState(st, ts, now, out)
+			if st.state == StateFiring {
+				firing++
 			}
-		case StatePending:
-			if !cond {
-				out = append(out, e.transition(st, StateOK, "ok", now, v))
-				e.endEpisode(st, now)
-			} else if now.Sub(st.since) >= time.Duration(st.rule.For) {
-				out = append(out, e.transition(st, StateFiring, "firing", now, v))
-			}
-		case StateFiring:
-			if !cond {
-				out = append(out, e.transition(st, StateOK, "resolved", now, v))
-				e.endEpisode(st, now)
-			}
-		}
-		if st.state == StateFiring {
-			firing++
 		}
 	}
 	if e.reg != nil {
 		e.reg.SetGauge("monitor.alerts.firing", float64(firing))
+	}
+	return out
+}
+
+// statesAt returns the rule's live alert states, discovering new By
+// targets from the store's current label values. A target once seen
+// keeps its state even if its series is later evicted — the alert then
+// resolves through the normal no-data path rather than vanishing.
+func (rs *ruleStates) statesAt(ts *TSStore) []*alertState {
+	if rs.rule.By == "" {
+		return []*alertState{rs.solo}
+	}
+	for _, v := range ts.LabelValues(rs.rule.discoveryMetric(), rs.rule.By) {
+		if rs.kids[v] == nil {
+			rs.kids[v] = &alertState{
+				rule:   rs.rule,
+				target: rs.rule.By + "." + v,
+				labels: []obs.Label{obs.L(rs.rule.By, v)},
+			}
+			rs.kidOrder = append(rs.kidOrder, v)
+		}
+	}
+	out := make([]*alertState, 0, len(rs.kidOrder))
+	for _, v := range rs.kidOrder {
+		out = append(out, rs.kids[v])
+	}
+	return out
+}
+
+// evalState drives one alert lifecycle through one round.
+func (e *Engine) evalState(st *alertState, ts *TSStore, now time.Time, out []Transition) []Transition {
+	v, ok := evalValue(ts, st.rule, st.labels, now)
+	cond := ok && compare(v, st.rule.op(), st.rule.Value)
+	st.value = v
+	switch st.state {
+	case StateOK:
+		if cond {
+			e.beginEpisode(st)
+			out = append(out, e.transition(st, StatePending, "pending", now, v))
+			if now.Sub(st.since) >= time.Duration(st.rule.For) {
+				out = append(out, e.transition(st, StateFiring, "firing", now, v))
+			}
+		}
+	case StatePending:
+		if !cond {
+			out = append(out, e.transition(st, StateOK, "ok", now, v))
+			e.endEpisode(st, now)
+		} else if now.Sub(st.since) >= time.Duration(st.rule.For) {
+			out = append(out, e.transition(st, StateFiring, "firing", now, v))
+		}
+	case StateFiring:
+		if !cond {
+			out = append(out, e.transition(st, StateOK, "resolved", now, v))
+			e.endEpisode(st, now)
+		}
 	}
 	return out
 }
@@ -404,6 +590,7 @@ func (e *Engine) beginEpisode(st *alertState) {
 	ctx, span := obs.StartOp(context.Background(), e.tracer, e.reg, "monitor.alert",
 		slog.String("rule", st.rule.Name),
 		slog.String("metric", st.rule.Metric),
+		slog.String("target", st.target),
 		slog.String("severity", st.rule.severity()))
 	st.ctx, st.span = ctx, span
 	st.trace = span.TraceID().String()
@@ -438,6 +625,7 @@ func (e *Engine) transition(st *alertState, state State, to string, now time.Tim
 	obs.Emit(st.ctx, level, "monitor.alert."+to,
 		slog.String("rule", st.rule.Name),
 		slog.String("metric", st.rule.Metric),
+		slog.String("target", st.target),
 		slog.String("severity", st.rule.severity()),
 		slog.String("from", from),
 		slog.Float64("value", v))
@@ -445,25 +633,37 @@ func (e *Engine) transition(st *alertState, state State, to string, now time.Tim
 	e.reg.Count("monitor.transition."+to, 1)
 	return Transition{
 		Rule: st.rule.Name, From: from, To: to, At: now, Value: v, Trace: st.trace,
+		Target: st.target,
 	}
 }
 
-// Alerts returns the current state of every rule, in rule order.
+// Alerts returns the current state of every alert lifecycle, in rule
+// order; a By rule contributes one alert per discovered target.
 func (e *Engine) Alerts() []Alert {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make([]Alert, 0, len(e.states))
-	for _, st := range e.states {
-		out = append(out, Alert{
-			Rule:        st.rule,
-			State:       st.state,
-			Value:       st.value,
-			Since:       st.since,
-			FiredAt:     st.firedAt,
-			ResolvedAt:  st.resolvedAt,
-			Trace:       st.trace,
-			Transitions: st.transitions,
-		})
+	out := make([]Alert, 0, len(e.rules))
+	for _, rs := range e.rules {
+		states := []*alertState{rs.solo}
+		if rs.rule.By != "" {
+			states = states[:0]
+			for _, v := range rs.kidOrder {
+				states = append(states, rs.kids[v])
+			}
+		}
+		for _, st := range states {
+			out = append(out, Alert{
+				Rule:        st.rule,
+				State:       st.state,
+				Value:       st.value,
+				Since:       st.since,
+				FiredAt:     st.firedAt,
+				ResolvedAt:  st.resolvedAt,
+				Trace:       st.trace,
+				Transitions: st.transitions,
+				Target:      st.target,
+			})
+		}
 	}
 	return out
 }

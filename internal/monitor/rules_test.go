@@ -171,9 +171,9 @@ func TestThresholdGaugeAgg(t *testing.T) {
 	}
 	now := c.Now()
 	// last = 2 (below), max = 10 (above).
-	last, _ := evalValue(ts, Rule{Metric: "depth", Kind: RuleThreshold}, now)
+	last, _ := evalValue(ts, Rule{Metric: "depth", Kind: RuleThreshold}, nil, now)
 	max, _ := evalValue(ts, Rule{Metric: "depth", Kind: RuleThreshold,
-		Agg: "max", Window: Duration(time.Minute)}, now)
+		Agg: "max", Window: Duration(time.Minute)}, nil, now)
 	if last != 2 || max != 10 {
 		t.Errorf("last=%g max=%g, want 2 and 10", last, max)
 	}
@@ -249,6 +249,53 @@ func TestParseRules(t *testing.T) {
 	}
 	if _, err := ParseRules(strings.NewReader(`{"rules": [{"window": "eternal"}]}`)); err == nil {
 		t.Error("bad duration accepted")
+	}
+}
+
+// TestParseDoc: one file carries both halves of the declarative
+// alerting surface — threshold/rate rules and SLOs — and the parsed
+// SLOs survive the round trip into CompileSLOs.
+func TestParseDoc(t *testing.T) {
+	doc := `{
+	  "rules": [{"name": "a", "metric": "m.total", "kind": "threshold",
+	    "op": ">", "value": 0, "window": "30s", "severity": "warning"}],
+	  "slos": [{"name": "node-latency", "metric": "store.node.seconds",
+	    "threshold": 0.05, "objective": 0.99, "by": "node",
+	    "fast_window": "8s", "fast_short": "2s"}]
+	}`
+	rules, slos, err := ParseDoc(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || len(slos) != 1 {
+		t.Fatalf("parsed %d rules, %d slos; want 1 and 1", len(rules), len(slos))
+	}
+	if slos[0].By != "node" || slos[0].FastWindow != Duration(8*time.Second) {
+		t.Fatalf("parsed SLO %+v", slos[0])
+	}
+	compiled, bases, err := CompileSLOs(slos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compiled) != 2 {
+		t.Fatalf("compiled %d rules from 1 SLO, want a fast/slow burn pair", len(compiled))
+	}
+	found := false
+	for _, b := range bases {
+		if b == "store.node.seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("TrackBuckets bases %v missing the SLO's histogram", bases)
+	}
+	// An SLO error surfaces at compile time, not parse time.
+	bad := `{"slos": [{"name": "x", "metric": "m", "objective": 2}]}`
+	if _, slos, err = ParseDoc(strings.NewReader(bad)); err != nil {
+		t.Fatalf("parse rejected what compile should: %v", err)
+	}
+	if _, _, err := CompileSLOs(slos); err == nil {
+		t.Error("objective 2 compiled")
 	}
 }
 

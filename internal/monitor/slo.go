@@ -1,0 +1,168 @@
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// An SLO is a declarative service-level objective compiled into
+// multi-window burn-rate alert rules (the Google SRE workbook form): a
+// fast-burn rule that pages quickly on budget-torching incidents and a
+// slow-burn rule that warns on persistent low-grade erosion.
+//
+// Two shapes are supported:
+//
+//   - Latency: Metric names a histogram; the objective is that at least
+//     Objective of observations complete within Threshold seconds.
+//     Threshold must equal one of the histogram's bucket bounds — the
+//     compiler derives the good-events series from the store's tracked
+//     per-bucket counters (<metric>.le.<bound>) and registers the
+//     histogram for bucket tracking automatically.
+//
+//   - Availability: Total names the total-events counter and exactly one
+//     of Good/Bad names its complement; the objective is that at least
+//     Objective of events are good.
+//
+// By fans the objective out per label value (e.g. By: "node" alerts and
+// indicts "node.3" instead of the whole array).
+type SLO struct {
+	// Name roots the compiled rule names: "<name>-fast-burn" and
+	// "<name>-slow-burn".
+	Name string `json:"name"`
+
+	// Latency objective: histogram base name and bucket-bound threshold.
+	Metric    string  `json:"metric,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+
+	// Availability objective: explicit counter pair.
+	Good  string `json:"good,omitempty"`
+	Bad   string `json:"bad,omitempty"`
+	Total string `json:"total,omitempty"`
+
+	// Objective is the target good fraction, e.g. 0.99.
+	Objective float64 `json:"objective"`
+
+	// By fans the objective out per label value of the given key.
+	By string `json:"by,omitempty"`
+
+	// Window overrides of the compiled rules; zero values take the
+	// defaults (fast: 2m long / 15s short, slow: 10m long / 1m short —
+	// sized for the stack's default 1-second sampling and 10-minute
+	// retention).
+	FastWindow Duration `json:"fast_window,omitempty"`
+	FastShort  Duration `json:"fast_short,omitempty"`
+	SlowWindow Duration `json:"slow_window,omitempty"`
+	SlowShort  Duration `json:"slow_short,omitempty"`
+
+	// Burn factor thresholds; zero values take 14 (fast) and 3 (slow).
+	FastFactor float64 `json:"fast_factor,omitempty"`
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+}
+
+// Default burn windows and factors for compiled SLO rules.
+const (
+	DefaultFastWindow = 2 * time.Minute
+	DefaultFastShort  = 15 * time.Second
+	DefaultSlowWindow = 10 * time.Minute
+	DefaultSlowShort  = time.Minute
+	DefaultFastFactor = 14
+	DefaultSlowFactor = 3
+)
+
+func (s SLO) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("monitor: SLO without a name")
+	}
+	if s.Objective <= 0 || s.Objective >= 1 {
+		return fmt.Errorf("monitor: SLO %q needs an objective in (0, 1), got %g",
+			s.Name, s.Objective)
+	}
+	latency := s.Metric != ""
+	avail := s.Total != ""
+	if latency == avail {
+		return fmt.Errorf("monitor: SLO %q needs exactly one of metric (latency) or total (availability)",
+			s.Name)
+	}
+	if latency && s.Threshold <= 0 {
+		return fmt.Errorf("monitor: latency SLO %q needs a positive threshold", s.Name)
+	}
+	if avail && (s.Good == "") == (s.Bad == "") {
+		return fmt.Errorf("monitor: availability SLO %q needs exactly one of good or bad", s.Name)
+	}
+	return nil
+}
+
+// series resolves the good/bad/total counter series the compiled rules
+// evaluate.
+func (s SLO) series() (good, bad, total string) {
+	if s.Metric != "" {
+		return s.Metric + ".le." + obs.BoundLabel(s.Threshold), "", s.Metric + ".count"
+	}
+	return s.Good, s.Bad, s.Total
+}
+
+func orDur(d Duration, def time.Duration) Duration {
+	if d > 0 {
+		return d
+	}
+	return Duration(def)
+}
+
+func orF(v, def float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// Compile turns the SLO into its fast-burn (critical) and slow-burn
+// (warning) rules.
+func (s SLO) Compile() ([]Rule, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	good, bad, total := s.series()
+	budget := 1 - s.Objective
+	base := Rule{
+		Kind: RuleBurnRate, Op: ">=",
+		Good: good, Bad: bad, Total: total,
+		Metric: total, // display/health metric: the objective's event stream
+		Budget: budget,
+		By:     s.By,
+	}
+	fast, slow := base, base
+	fast.Name = s.Name + "-fast-burn"
+	fast.Severity = SeverityCritical
+	fast.Value = orF(s.FastFactor, DefaultFastFactor)
+	fast.Window = orDur(s.FastWindow, DefaultFastWindow)
+	fast.ShortWindow = orDur(s.FastShort, DefaultFastShort)
+	slow.Name = s.Name + "-slow-burn"
+	slow.Severity = SeverityWarning
+	slow.Value = orF(s.SlowFactor, DefaultSlowFactor)
+	slow.Window = orDur(s.SlowWindow, DefaultSlowWindow)
+	slow.ShortWindow = orDur(s.SlowShort, DefaultSlowShort)
+	for _, r := range []Rule{fast, slow} {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return []Rule{fast, slow}, nil
+}
+
+// CompileSLOs compiles every objective and returns the combined rule
+// list plus the histogram bases that need per-bucket tracking.
+func CompileSLOs(slos []SLO) (rules []Rule, trackBases []string, err error) {
+	for _, s := range slos {
+		rs, err := s.Compile()
+		if err != nil {
+			return nil, nil, err
+		}
+		rules = append(rules, rs...)
+		if s.Metric != "" {
+			trackBases = append(trackBases, s.Metric)
+		}
+	}
+	return rules, trackBases, nil
+}

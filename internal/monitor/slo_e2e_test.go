@@ -1,0 +1,301 @@
+package monitor_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/store/nodestore"
+)
+
+// quietStore succeeds at everything without touching a filesystem, so
+// the SLO e2e test exercises only the node fault model and the
+// monitoring plane above it.
+type quietStore struct{}
+
+func (quietStore) Open(string) (store.File, error)   { return quietFile{}, nil }
+func (quietStore) Create(string) (store.File, error) { return quietFile{}, nil }
+func (quietStore) Rename(_, _ string) error          { return nil }
+func (quietStore) Remove(string) error               { return nil }
+
+type quietFile struct{}
+
+func (quietFile) ReadAt(b []byte, _ int64) (int, error)  { return len(b), nil }
+func (quietFile) WriteAt(b []byte, _ int64) (int, error) { return len(b), nil }
+func (quietFile) Size() (int64, error)                   { return 0, nil }
+func (quietFile) Sync() error                            { return nil }
+func (quietFile) Close() error                           { return nil }
+
+// TestSLOBurnRateEndToEnd is the acceptance test for dimensional
+// metrics: a seeded latency fault makes exactly one node of a
+// three-node store slow, and the per-node labeled series must carry
+// that fact through every layer — the registry's labeled histogram
+// children, the Prometheus exposition, the query API's label
+// selectors, the compiled burn-rate rules' per-target fan-out, and the
+// health verdict's per-node targets — before the fault schedule ends
+// and everything resolves. Fully deterministic: fake clock, injected
+// sleep, op-indexed fault schedule.
+func TestSLOBurnRateEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+
+	// Node 1 serves its first 20 ops 100ms slow; nodes 0 and 2 are
+	// instant throughout. The SLO below says 99% of ops should finish
+	// within 50ms, so while the fault is live node 1 burns error budget
+	// at 100x — far beyond the fast-burn factor of 14.
+	const slowNode = 1
+	ns := nodestore.New(nodestore.Config{
+		Nodes:    3,
+		Base:     quietStore{},
+		Registry: reg,
+		Sleep:    noSleep,
+		Now:      clock.Now,
+		Faults: []nodestore.NodeFault{{
+			Node: slowNode, Kind: nodestore.LatencyFault,
+			Delay: 100 * time.Millisecond, For: 20,
+		}},
+	})
+	paths := []string{"blob.0", "blob.1", "blob.2"}
+	for i, p := range paths {
+		ns.Assign(p, i)
+	}
+
+	tracer := obs.NewTracer(obs.NewFlightRecorder(256))
+	tracer.Seed(21)
+	mon, err := monitor.New(monitor.Config{
+		Registry:     reg,
+		Interval:     time.Second,
+		Window:       64,
+		Now:          clock.Now,
+		Tracer:       tracer,
+		HealthWindow: 16 * time.Second,
+		SLOs: []monitor.SLO{{
+			Name:      "node-latency",
+			Metric:    "store.node.seconds",
+			Threshold: 0.05, // a LatencyBuckets bound
+			Objective: 0.99,
+			By:        "node",
+			// Windows shrunk to the test's 1-second cadence.
+			FastWindow: monitor.Duration(8 * time.Second),
+			FastShort:  monitor.Duration(2 * time.Second),
+			SlowWindow: monitor.Duration(20 * time.Second),
+			SlowShort:  monitor.Duration(4 * time.Second),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One round = one op against every node, then a sampling tick.
+	var transitions []monitor.Transition
+	round := func() {
+		t.Helper()
+		for _, p := range paths {
+			f, err := ns.Open(p)
+			if err != nil {
+				t.Fatalf("open %s: %v", p, err)
+			}
+			f.Close()
+		}
+		transitions = append(transitions, mon.Tick()...)
+		clock.Step()
+	}
+	seek := func(rule, to, target string, within int) monitor.Transition {
+		t.Helper()
+		for i := 0; i < within; i++ {
+			for _, tr := range transitions {
+				if tr.Rule == rule && tr.To == to && tr.Target == target {
+					return tr
+				}
+			}
+			round()
+		}
+		t.Fatalf("no %s:%s on %s within %d rounds (transitions %+v)",
+			rule, to, target, within, transitions)
+		return monitor.Transition{}
+	}
+
+	// Phase 1: the fault is live. The fast-burn rule must fire against
+	// node.1 specifically — never against the healthy nodes.
+	fire := seek("node-latency-fast-burn", "firing", "node.1", 12)
+	if fire.Trace == "" {
+		t.Error("firing transition carries no trace ID")
+	}
+	for _, tr := range transitions {
+		if tr.Target != "" && tr.Target != "node.1" {
+			t.Errorf("transition %+v indicts %s; only node.1 is slow", tr, tr.Target)
+		}
+	}
+
+	// The alert list attributes the burn to the node, at critical.
+	var fastBurn *monitor.Alert
+	for i, a := range mon.Alerts() {
+		if a.Rule.Name == "node-latency-fast-burn" && a.Target == "node.1" {
+			fastBurn = &mon.Alerts()[i]
+		}
+	}
+	if fastBurn == nil || fastBurn.State != monitor.StateFiring {
+		t.Fatalf("alerts = %+v, want node-latency-fast-burn firing on node.1", mon.Alerts())
+	}
+	if fastBurn.Rule.Severity != monitor.SeverityCritical {
+		t.Errorf("fast-burn severity = %v, want critical", fastBurn.Rule.Severity)
+	}
+
+	// Health: the per-node target is critical, the quiet nodes are not
+	// indicted, and at least one reason names the slow node.
+	h := mon.Health()
+	if h.Verdict != monitor.Critical {
+		t.Fatalf("health = %v (%+v), want critical while fast-burn fires", h.Verdict, h.Reasons)
+	}
+	if got := h.Targets["node.1"]; got != monitor.Critical {
+		t.Errorf("Targets[node.1] = %v, want critical (targets %+v)", got, h.Targets)
+	}
+	for _, quiet := range []string{"node.0", "node.2"} {
+		if v, ok := h.Targets[quiet]; ok && v != monitor.Healthy {
+			t.Errorf("Targets[%s] = %v; the quiet node must not be indicted", quiet, v)
+		}
+	}
+	var hit bool
+	for _, r := range h.Reasons {
+		if r.Target == "node.1" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no health reason targets node.1: %+v", h.Reasons)
+	}
+
+	// The Prometheus exposition renders the labeled histogram children
+	// with proper brace syntax — the slow node's observations live in a
+	// per-node series, not a flattened name.
+	var prom bytes.Buffer
+	reg.Snapshot().WritePrometheus(&prom)
+	for _, want := range []string{
+		`store_node_seconds_bucket{node="1",le="0.05"}`,
+		`store_node_seconds_count{node="1"}`,
+		`store_node_seconds_count{node="0"}`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("Prometheus exposition missing %s", want)
+		}
+	}
+
+	// The query API resolves the same series through label selectors:
+	// the slow node's op count is reachable by node=1, and a group-by
+	// fans the family out per node.
+	mux := http.NewServeMux()
+	mon.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	get := func(path string) (int, monitor.QueryResponse) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var qr monitor.QueryResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Fatalf("%s: bad JSON: %v", path, err)
+			}
+		}
+		return resp.StatusCode, qr
+	}
+	code, qr := get("/api/v1/query?metric=store.node.seconds.count&label=node=1&fn=increase&window=8s")
+	if code != http.StatusOK || qr.Value == nil || *qr.Value <= 0 {
+		t.Errorf("labeled selector query: status %d value %v, want 200 and > 0", code, qr.Value)
+	}
+	code, qr = get("/api/v1/query?metric=store.node.seconds.count&by=node&fn=increase&window=8s")
+	if code != http.StatusOK || len(qr.Groups) != 3 {
+		t.Errorf("group-by query: status %d groups %+v, want 200 with 3 nodes", code, qr.Groups)
+	}
+	if code, _ := get("/api/v1/query?metric=store.node.seconds.count&label=node=9"); code != http.StatusNotFound {
+		t.Errorf("unknown node selector: status %d, want 404", code)
+	}
+
+	// Phase 2: the fault schedule ends (node 1 has served its 20 slow
+	// ops), good events keep flowing, and both burn windows drain. The
+	// fast-burn alert must resolve on the same target and health must
+	// recover — seeded chaos, full lifecycle.
+	seek("node-latency-fast-burn", "resolved", "node.1", 40)
+	for i := 0; i < 30 && mon.Health().Verdict != monitor.Healthy; i++ {
+		round()
+	}
+	if h := mon.Health(); h.Verdict != monitor.Healthy {
+		t.Fatalf("post-recovery health = %v (%+v), want healthy", h.Verdict, h.Reasons)
+	}
+	for _, a := range mon.Alerts() {
+		if a.State != monitor.StateOK {
+			t.Errorf("post-recovery alert still %s: %+v", a.State, a)
+		}
+	}
+}
+
+// TestSLOBurnRateDeterministic re-runs a compressed version of the
+// chaos schedule twice and requires identical transition sequences —
+// the whole labeled pipeline (fault schedule, histogram children,
+// burn-rate evaluation, per-target fan-out) is seed-stable.
+func TestSLOBurnRateDeterministic(t *testing.T) {
+	run := func() string {
+		reg := obs.NewRegistry()
+		clock := newFakeClock()
+		ns := nodestore.New(nodestore.Config{
+			Nodes: 2, Base: quietStore{}, Registry: reg,
+			Sleep: noSleep, Now: clock.Now, Seed: 17,
+			Faults: []nodestore.NodeFault{{
+				Node: 0, Kind: nodestore.LatencyFault,
+				Delay: 200 * time.Millisecond, For: 6,
+			}},
+		})
+		ns.Assign("a", 0)
+		ns.Assign("b", 1)
+		mon, err := monitor.New(monitor.Config{
+			Registry: reg, Interval: time.Second, Window: 32, Now: clock.Now,
+			SLOs: []monitor.SLO{{
+				Name: "lat", Metric: "store.node.seconds",
+				Threshold: 0.1, Objective: 0.95, By: "node",
+				FastWindow: monitor.Duration(4 * time.Second),
+				FastShort:  monitor.Duration(time.Second),
+				SlowWindow: monitor.Duration(8 * time.Second),
+				SlowShort:  monitor.Duration(2 * time.Second),
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []string
+		for i := 0; i < 24; i++ {
+			for _, p := range []string{"a", "b"} {
+				f, err := ns.Open(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+			for _, tr := range mon.Tick() {
+				seq = append(seq, fmt.Sprintf("%d:%s:%s:%s", i, tr.Rule, tr.To, tr.Target))
+			}
+			clock.Step()
+		}
+		return strings.Join(seq, "\n")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("transition sequence not seed-stable:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "lat-fast-burn:firing:node.0") {
+		t.Errorf("compressed schedule never fired on node.0:\n%s", a)
+	}
+	if !strings.Contains(a, "lat-fast-burn:resolved:node.0") {
+		t.Errorf("compressed schedule never resolved:\n%s", a)
+	}
+}

@@ -1,0 +1,163 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSLOCompile: a latency SLO compiles into the fast/slow multi-window
+// burn-rate rule pair over the histogram's bucket and count series.
+func TestSLOCompile(t *testing.T) {
+	rules, track, err := CompileSLOs([]SLO{{
+		Name: "read-latency", Metric: "store.node.seconds",
+		Threshold: 0.05, Objective: 0.99, By: "node",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("compiled %d rules, want 2", len(rules))
+	}
+	fast, slow := rules[0], rules[1]
+	if fast.Name != "read-latency-fast-burn" || fast.Severity != SeverityCritical {
+		t.Errorf("fast rule = %+v", fast)
+	}
+	if slow.Name != "read-latency-slow-burn" || slow.Severity != SeverityWarning {
+		t.Errorf("slow rule = %+v", slow)
+	}
+	if fast.Good != "store.node.seconds.le.0.05" || fast.Total != "store.node.seconds.count" {
+		t.Errorf("series = %q / %q", fast.Good, fast.Total)
+	}
+	if math.Abs(fast.Budget-0.01) > 1e-9 || fast.By != "node" || fast.Kind != RuleBurnRate {
+		t.Errorf("fast rule params = %+v", fast)
+	}
+	if fast.Value != DefaultFastFactor || slow.Value != DefaultSlowFactor {
+		t.Errorf("factors = %g / %g", fast.Value, slow.Value)
+	}
+	if len(track) != 1 || track[0] != "store.node.seconds" {
+		t.Errorf("tracked bases = %v", track)
+	}
+}
+
+func TestSLOValidate(t *testing.T) {
+	bad := []SLO{
+		{Name: "", Metric: "m", Threshold: 1, Objective: 0.9},
+		{Name: "x", Metric: "m", Threshold: 1, Objective: 1.5},
+		{Name: "x", Metric: "m", Threshold: 1, Total: "t", Good: "g", Objective: 0.9},
+		{Name: "x", Objective: 0.9},
+		{Name: "x", Metric: "m", Objective: 0.9},                     // no threshold
+		{Name: "x", Total: "t", Objective: 0.9},                      // neither good nor bad
+		{Name: "x", Total: "t", Good: "g", Bad: "b", Objective: 0.9}, // both
+	}
+	for i, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("case %d: SLO %+v compiled, want error", i, s)
+		}
+	}
+}
+
+// TestBurnRateByTarget drives a per-node burn-rate rule end to end on
+// synthetic series: only the slow node's target fires, and the alert
+// carries Target "node.1".
+func TestBurnRateByTarget(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(64)
+	c := newClock()
+	rule := Rule{
+		Name: "lat-burn", Kind: RuleBurnRate, Op: ">=",
+		Good: "lat.le.0.05", Total: "lat.count",
+		Budget: 0.01, Value: 10,
+		Window: Duration(20 * time.Second), ShortWindow: Duration(5 * time.Second),
+		By: "node",
+	}
+	eng, err := NewEngine([]Rule{rule}, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 is healthy (all observations under the bound); node 1 sends
+	// half its observations over the bound: burn = 0.5/0.01 = 50 >= 10.
+	var total0, good0, total1, good1 uint64
+	for i := 0; i < 30; i++ {
+		total0 += 10
+		good0 += 10
+		total1 += 10
+		good1 += 5
+		ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{
+			`lat.count{node="0"}`:   total0,
+			`lat.le.0.05{node="0"}`: good0,
+			`lat.count{node="1"}`:   total1,
+			`lat.le.0.05{node="1"}`: good1,
+		}})
+		eng.Eval(ts, c.Now())
+		c.Advance(time.Second)
+	}
+	alerts := eng.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %d, want one per discovered node", len(alerts))
+	}
+	byTarget := map[string]Alert{}
+	for _, a := range alerts {
+		byTarget[a.Target] = a
+	}
+	if a := byTarget["node.1"]; a.State != StateFiring {
+		t.Errorf("node.1 = %v (value %g), want firing", a.State, a.Value)
+	}
+	if a := byTarget["node.0"]; a.State != StateOK {
+		t.Errorf("node.0 = %v (value %g), want ok", a.State, a.Value)
+	}
+
+	// Node 1 recovers: the short window stops burning first, min() drops
+	// below the factor, and the alert resolves while the long window is
+	// still polluted.
+	resolvedAt := -1
+	for i := 0; i < 10; i++ {
+		total1 += 10
+		good1 += 10
+		total0 += 10
+		good0 += 10
+		ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{
+			`lat.count{node="0"}`:   total0,
+			`lat.le.0.05{node="0"}`: good0,
+			`lat.count{node="1"}`:   total1,
+			`lat.le.0.05{node="1"}`: good1,
+		}})
+		for _, tr := range eng.Eval(ts, c.Now()) {
+			if tr.Target == "node.1" && tr.To == "resolved" {
+				resolvedAt = i
+			}
+		}
+		c.Advance(time.Second)
+	}
+	if resolvedAt < 0 {
+		t.Error("node.1 burn alert never resolved after recovery")
+	} else if resolvedAt > 6 {
+		t.Errorf("short window took %d rounds to release the alert, want <= 6", resolvedAt)
+	}
+}
+
+// TestBurnRateIdleService: no events in the window means no burn — the
+// rule stays ok rather than dividing by zero.
+func TestBurnRateIdleService(t *testing.T) {
+	ts := NewTSStore(16)
+	c := newClock()
+	r := Rule{
+		Name: "idle", Kind: RuleBurnRate, Op: ">=",
+		Bad: "err.total", Total: "req.total",
+		Budget: 0.01, Value: 1, Window: Duration(10 * time.Second),
+	}
+	if err := r.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := evalValue(ts, r, nil, c.Now()); ok {
+		t.Error("burn over an absent total series reported ok")
+	}
+	// Bad series absent entirely: burn is zero, not an error.
+	ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{"req.total": 100}})
+	v, ok := evalValue(ts, r, nil, c.Now())
+	if !ok || v != 0 {
+		t.Errorf("burn with no bad series = %g/%v, want 0/true", v, ok)
+	}
+}

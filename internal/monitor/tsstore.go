@@ -39,13 +39,16 @@ type Point struct {
 }
 
 // series is one metric's fixed-capacity ring of samples plus the state
-// needed to turn cumulative counters into deltas.
+// needed to turn cumulative counters into deltas. Delta and reset
+// clamping state is per series — a labeled child resets independently of
+// its siblings and of the family aggregate.
 type series struct {
-	kind    Kind
-	lastRaw float64 // counters: last cumulative value sampled
-	buf     []Point // ring storage
-	n       int     // samples currently held
-	next    int     // ring write cursor
+	kind     Kind
+	lastRaw  float64 // counters: last cumulative value sampled
+	buf      []Point // ring storage
+	n        int     // samples currently held
+	next     int     // ring write cursor
+	lastSeen uint64  // ingest round that last sampled this series
 }
 
 func (s *series) push(p Point) {
@@ -80,11 +83,12 @@ func (s *series) points() []Point {
 // the query side by a RWMutex, so a scrape never observes a half-written
 // sampling round.
 type TSStore struct {
-	mu     sync.RWMutex
-	window int
-	series map[string]*series
-	rounds uint64
-	last   time.Time
+	mu      sync.RWMutex
+	window  int
+	series  map[string]*series
+	rounds  uint64
+	last    time.Time
+	buckets map[string]bool // histogram bases tracked as per-bucket series
 }
 
 // DefaultWindow is the per-series sample capacity used when NewTSStore is
@@ -97,7 +101,21 @@ func NewTSStore(window int) *TSStore {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	return &TSStore{window: window, series: make(map[string]*series)}
+	return &TSStore{window: window, series: make(map[string]*series), buckets: make(map[string]bool)}
+}
+
+// TrackBuckets marks histogram base names whose per-bucket cumulative
+// counts should be ingested as counter-delta series named
+// <base>.le.<bound>{labels} — the raw material of latency SLOs (the
+// windowed increase of a bucket series is "good events under the
+// threshold"). Only explicitly tracked histograms pay the extra series;
+// the SLO compiler registers its objectives' histograms automatically.
+func (ts *TSStore) TrackBuckets(bases ...string) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, b := range bases {
+		ts.buckets[b] = true
+	}
 }
 
 // Window returns the per-series sample capacity.
@@ -122,7 +140,15 @@ func (ts *TSStore) LastSample() time.Time {
 // stored as deltas against the previous round (a first observation or a
 // counter reset contributes the full value), gauges as point samples,
 // and each histogram as two counter-delta series, <name>.count and
-// <name>.sum.
+// <name>.sum (labeled histogram children keep their label set terminal:
+// h{node="3"} samples into h.count{node="3"}). Histograms whose base was
+// registered with TrackBuckets additionally sample every cumulative
+// bucket as <name>.le.<bound>{labels}.
+//
+// A labeled series that disappears from the snapshot (an evicted or
+// reset label set) is dropped from the store once it has been absent for
+// a full window of rounds, so dead label sets do not hold ring memory
+// forever.
 func (ts *TSStore) Ingest(now time.Time, snap obs.Snapshot) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
@@ -135,8 +161,35 @@ func (ts *TSStore) Ingest(now time.Time, snap obs.Snapshot) {
 		ts.pushGauge(name, now, v)
 	}
 	for name, h := range snap.Histograms {
-		ts.pushCounter(name+".count", now, float64(h.Count))
-		ts.pushCounter(name+".sum", now, h.Sum)
+		ts.pushCounter(obs.SeriesSuffix(name, ".count"), now, float64(h.Count))
+		ts.pushCounter(obs.SeriesSuffix(name, ".sum"), now, h.Sum)
+		if base, _ := obs.SplitSeries(name); ts.buckets[base] {
+			cum := uint64(0)
+			for i, n := range h.Counts {
+				cum += n
+				if i < len(h.Bounds) {
+					ts.pushCounter(obs.SeriesSuffix(name, ".le."+obs.BoundLabel(h.Bounds[i])),
+						now, float64(cum))
+				}
+			}
+		}
+	}
+	ts.evictLocked()
+}
+
+// evictLocked drops series that have not been sampled for a full window
+// of rounds: their rings hold only stale points no query window can
+// reach, and keeping them would grow the store by one dead ring per
+// retired label set.
+func (ts *TSStore) evictLocked() {
+	if ts.rounds < uint64(ts.window) {
+		return
+	}
+	cutoff := ts.rounds - uint64(ts.window)
+	for name, s := range ts.series {
+		if s.lastSeen <= cutoff {
+			delete(ts.series, name)
+		}
 	}
 }
 
@@ -146,6 +199,7 @@ func (ts *TSStore) getOrCreate(name string, kind Kind) *series {
 		s = &series{kind: kind, buf: make([]Point, ts.window)}
 		ts.series[name] = s
 	}
+	s.lastSeen = ts.rounds
 	return s
 }
 

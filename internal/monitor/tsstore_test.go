@@ -155,3 +155,114 @@ func TestUnknownSeries(t *testing.T) {
 		t.Error("Range on absent series reported ok")
 	}
 }
+
+// TestLabeledCounterResetPerChild: delta/reset clamping state is per
+// labeled child — one node's restart must not corrupt its siblings'
+// deltas or the family aggregate.
+func TestLabeledCounterResetPerChild(t *testing.T) {
+	ts := NewTSStore(8)
+	c := newClock()
+	n1 := `nodestore.down.total{node="1"}`
+	n2 := `nodestore.down.total{node="2"}`
+	ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{n1: 10, n2: 4}})
+	c.Advance(time.Second)
+	// node=1 resets to 3; node=2 keeps climbing.
+	ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{n1: 3, n2: 6}})
+	pts1, _, _ := ts.Range(n1, time.Time{}, time.Time{})
+	if pts1[1].V != 3 {
+		t.Errorf("node=1 post-reset delta = %g, want clamped 3", pts1[1].V)
+	}
+	pts2, _, _ := ts.Range(n2, time.Time{}, time.Time{})
+	if pts2[1].V != 2 {
+		t.Errorf("node=2 delta = %g, want 2 (unaffected by sibling reset)", pts2[1].V)
+	}
+}
+
+// TestDeadLabelSetEviction: a labeled child that stops appearing in
+// snapshots is dropped after a full window of absent rounds; live
+// siblings stay.
+func TestDeadLabelSetEviction(t *testing.T) {
+	ts := NewTSStore(4)
+	c := newClock()
+	dead := `m{node="9"}`
+	live := `m{node="1"}`
+	ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{dead: 1, live: 1}})
+	for i := 0; i < 6; i++ {
+		c.Advance(time.Second)
+		ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{live: uint64(2 + i)}})
+	}
+	if _, ok := ts.Kind(dead); ok {
+		t.Errorf("dead label set %s survived %d absent rounds (window 4)", dead, 6)
+	}
+	if _, ok := ts.Kind(live); !ok {
+		t.Error("live series evicted")
+	}
+}
+
+// TestTrackBuckets: tracked histogram bases grow per-bucket cumulative
+// series usable as SLO good-event counters; untracked bases do not.
+func TestTrackBuckets(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTSStore(8)
+	ts.TrackBuckets("lat")
+	c := newClock()
+	bounds := []float64{0.01, 0.1}
+	reg.ObserveWith("lat", bounds, 0.005, obs.L("node", "3"))
+	reg.ObserveWith("lat", bounds, 0.05, obs.L("node", "3"))
+	reg.Observe("other.lat", bounds, 0.005)
+	sample(ts, reg, c)
+
+	if inc, ok := ts.Increase(`lat.le.0.01{node="3"}`, time.Minute, c.Now()); !ok || inc != 1 {
+		t.Errorf("lat.le.0.01 child = %g/%v, want 1", inc, ok)
+	}
+	if inc, ok := ts.Increase(`lat.le.0.1{node="3"}`, time.Minute, c.Now()); !ok || inc != 2 {
+		t.Errorf("lat.le.0.1 child = %g/%v, want cumulative 2", inc, ok)
+	}
+	// Aggregate histogram (bare base) is tracked too.
+	if inc, ok := ts.Increase("lat.le.0.1", time.Minute, c.Now()); !ok || inc != 2 {
+		t.Errorf("lat.le.0.1 aggregate = %g/%v, want 2", inc, ok)
+	}
+	if _, ok := ts.Kind("other.lat.le.0.01"); ok {
+		t.Error("untracked histogram grew bucket series")
+	}
+	// .count/.sum keep the label set terminal.
+	if inc, ok := ts.Increase(`lat.count{node="3"}`, time.Minute, c.Now()); !ok || inc != 2 {
+		t.Errorf(`lat.count{node="3"} = %g/%v, want 2`, inc, ok)
+	}
+}
+
+// TestSelectAndLabelValues: selector primitives pick labeled children
+// only — never the bare aggregate or dotted flat aliases.
+func TestSelectAndLabelValues(t *testing.T) {
+	ts := NewTSStore(8)
+	c := newClock()
+	ts.Ingest(c.Now(), obs.Snapshot{Counters: map[string]uint64{
+		"m":                  7, // aggregate
+		"m.node.1":           3, // flat alias
+		`m{node="1"}`:        3,
+		`m{node="2"}`:        4,
+		`m{node="2",op="r"}`: 1,
+	}})
+	got := ts.Select("m", nil)
+	if len(got) != 3 {
+		t.Fatalf("Select(m) = %v, want 3 children", got)
+	}
+	one := ts.Select("m", []obs.Label{obs.L("node", "2")})
+	if len(one) != 2 {
+		t.Errorf("Select(node=2) = %v, want 2", one)
+	}
+	vals := ts.LabelValues("m", "node")
+	if len(vals) != 2 || vals[0] != "1" || vals[1] != "2" {
+		t.Errorf("LabelValues = %v, want [1 2]", vals)
+	}
+	if inc, ok := ts.IncreaseMatched("m", []obs.Label{obs.L("node", "2")}, time.Minute, c.Now()); !ok || inc != 5 {
+		t.Errorf("IncreaseMatched(node=2) = %g/%v, want 5", inc, ok)
+	}
+	// nil match: exact name only (the aggregate here).
+	if inc, ok := ts.IncreaseMatched("m", nil, time.Minute, c.Now()); !ok || inc != 7 {
+		t.Errorf("IncreaseMatched(nil) = %g/%v, want 7", inc, ok)
+	}
+	if _, ok := ts.IncreaseMatched("m", []obs.Label{obs.L("node", "99")}, time.Minute, c.Now()); ok {
+		t.Error("IncreaseMatched on unknown label value reported ok")
+	}
+}

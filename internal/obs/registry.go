@@ -22,30 +22,48 @@ import (
 	"sync/atomic"
 )
 
-// A Counter is a monotonically increasing uint64.
+// A Counter is a monotonically increasing uint64. A nil *Counter (from
+// a labeled lookup on a nil registry) is a valid no-op.
 type Counter struct {
 	v atomic.Uint64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() { c.Add(1) }
 
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
-// A Gauge is a settable float64 (rebuild progress, queue depth, ...).
+// A Gauge is a settable float64 (rebuild progress, queue depth, ...). A
+// nil *Gauge is a valid no-op.
 type Gauge struct {
 	bits atomic.Uint64
 }
 
 // Set stores v.
-func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
 
 // Add adds d to the gauge (atomic read-modify-write).
 func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
 	for {
 		old := g.bits.Load()
 		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
@@ -54,8 +72,13 @@ func (g *Gauge) Add(d float64) {
 	}
 }
 
-// Value returns the current value.
-func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
 
 // Registry holds named metrics. The zero value is not usable; construct
 // with NewRegistry. All methods are safe for concurrent use, and a nil
@@ -65,6 +88,14 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Labeled families (see labels.go): one interned label-set table per
+	// metric name, each capped at labelCap() distinct sets.
+	cfam map[string]*family[*Counter]
+	gfam map[string]*family[*Gauge]
+	hfam map[string]*family[*Histogram]
+
+	labelCapacity int
 }
 
 // NewRegistry returns an empty registry.
@@ -73,6 +104,9 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		cfam:     make(map[string]*family[*Counter]),
+		gfam:     make(map[string]*family[*Gauge]),
+		hfam:     make(map[string]*family[*Histogram]),
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strings"
 )
 
@@ -41,6 +43,18 @@ type SpanStats struct {
 
 // Snapshot captures every metric in the registry. Safe to call while
 // writers are mutating; a nil registry yields an empty snapshot.
+//
+// Labeled metrics appear three ways, all under the counter/gauge/
+// histogram maps keyed by canonical series name (see SeriesName):
+//
+//   - every child:        raid.scrub.repairs{disk="3"}
+//   - the family total:   raid.scrub.repairs — the sum (merge, for
+//     histograms) of the children, emitted only when no unlabeled metric
+//     already owns the bare name, so a migrated emitter keeps its old
+//     aggregate series alive for free;
+//   - a flat-name alias for single-label children:
+//     raid.scrub.repairs.disk.3 — the pre-label dotted spelling, kept so
+//     existing dashboards and committed BENCH_obs series keep resolving.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]uint64{},
@@ -64,6 +78,18 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	cfam := make(map[string]*family[*Counter], len(r.cfam))
+	for k, v := range r.cfam {
+		cfam[k] = v
+	}
+	gfam := make(map[string]*family[*Gauge], len(r.gfam))
+	for k, v := range r.gfam {
+		gfam[k] = v
+	}
+	hfam := make(map[string]*family[*Histogram], len(r.hfam))
+	for k, v := range r.hfam {
+		hfam[k] = v
+	}
 	r.mu.RUnlock()
 
 	for k, v := range counters {
@@ -74,6 +100,71 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.snapshot()
+	}
+
+	for base, f := range cfam {
+		entries := f.snapshotEntries()
+		if len(entries) == 0 {
+			continue
+		}
+		var total uint64
+		for _, e := range entries {
+			v := e.metric.Value()
+			total += v
+			s.Counters[SeriesName(base, e.labels)] = v
+			if alias, ok := flatAlias(base, e.labels); ok {
+				if _, taken := s.Counters[alias]; !taken {
+					s.Counters[alias] = v
+				}
+			}
+		}
+		if _, taken := s.Counters[base]; !taken {
+			s.Counters[base] = total
+		}
+	}
+	for base, f := range gfam {
+		entries := f.snapshotEntries()
+		if len(entries) == 0 {
+			continue
+		}
+		var total float64
+		for _, e := range entries {
+			v := e.metric.Value()
+			total += v
+			s.Gauges[SeriesName(base, e.labels)] = v
+			if alias, ok := flatAlias(base, e.labels); ok {
+				if _, taken := s.Gauges[alias]; !taken {
+					s.Gauges[alias] = v
+				}
+			}
+		}
+		if _, taken := s.Gauges[base]; !taken {
+			s.Gauges[base] = total
+		}
+	}
+	for base, f := range hfam {
+		entries := f.snapshotEntries()
+		if len(entries) == 0 {
+			continue
+		}
+		var agg HistogramSnapshot
+		for i, e := range entries {
+			hs := e.metric.snapshot()
+			if i == 0 {
+				agg = hs
+			} else {
+				agg = mergeHistogramSnapshots(agg, hs)
+			}
+			s.Histograms[SeriesName(base, e.labels)] = hs
+			if alias, ok := flatAlias(base, e.labels); ok {
+				if _, taken := s.Histograms[alias]; !taken {
+					s.Histograms[alias] = hs
+				}
+			}
+		}
+		if _, taken := s.Histograms[base]; !taken {
+			s.Histograms[base] = agg
+		}
 	}
 
 	// Reassemble span families: every ".calls" counter roots one.
@@ -144,6 +235,49 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 }
 
+// flatAlias spells a single-label child the way the pre-label stack
+// did: base.key.value (raid.scrub.repairs{disk="3"} →
+// raid.scrub.repairs.disk.3). Multi-label children have no historical
+// flat spelling and alias nothing.
+func flatAlias(base string, labels []Label) (string, bool) {
+	if len(labels) != 1 {
+		return "", false
+	}
+	return base + "." + labels[0].Key + "." + labels[0].Value, true
+}
+
+// mergeHistogramSnapshots folds b into a (the family aggregate). The
+// children of one family share bucket bounds by construction; on a
+// mismatch the merge keeps a unchanged rather than inventing buckets.
+func mergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if len(a.Counts) != len(b.Counts) {
+		return a
+	}
+	out := a
+	out.Counts = append([]uint64(nil), a.Counts...)
+	for i, n := range b.Counts {
+		out.Counts[i] += n
+	}
+	out.Count = a.Count + b.Count
+	out.Sum = a.Sum + b.Sum
+	switch {
+	case a.Count == 0:
+		out.Min, out.Max = b.Min, b.Max
+	case b.Count == 0:
+		out.Min, out.Max = a.Min, a.Max
+	default:
+		out.Min = math.Min(a.Min, b.Min)
+		out.Max = math.Max(a.Max, b.Max)
+	}
+	if out.Count > 0 {
+		out.Mean = out.Sum / float64(out.Count)
+		out.P50 = out.Quantile(0.50)
+		out.P90 = out.Quantile(0.90)
+		out.P99 = out.Quantile(0.99)
+	}
+	return out
+}
+
 func fmtSeconds(v float64) string {
 	switch {
 	case v >= 1:
@@ -157,21 +291,19 @@ func fmtSeconds(v float64) string {
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4). Metric names have non-alphanumeric runes
-// replaced with underscores; histograms emit cumulative _bucket series
-// plus _sum and _count.
+// replaced with underscores; labeled series render with proper brace
+// syntax (metric{node="3",code="liberation"}), grouped so every sample
+// of one metric name sits under a single # TYPE line; histograms emit
+// cumulative _bucket series plus _sum and _count, with the le label
+// merged after the series' own labels.
 func (s Snapshot) WritePrometheus(w io.Writer) {
-	for _, name := range sortedNames(s.Counters) {
-		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
-	}
-	for _, name := range sortedNames(s.Gauges) {
-		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name])
-	}
-	for _, name := range sortedNames(s.Histograms) {
-		h := s.Histograms[name]
-		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	writeGrouped(w, s.Counters, "counter", func(w io.Writer, pn, labels string, v uint64) {
+		fmt.Fprintf(w, "%s%s %d\n", pn, labels, v)
+	})
+	writeGrouped(w, s.Gauges, "gauge", func(w io.Writer, pn, labels string, v float64) {
+		fmt.Fprintf(w, "%s%s %g\n", pn, labels, v)
+	})
+	writeGrouped(w, s.Histograms, "histogram", func(w io.Writer, pn, labels string, h HistogramSnapshot) {
 		cum := uint64(0)
 		for i, n := range h.Counts {
 			cum += n
@@ -179,11 +311,58 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 			if i < len(h.Bounds) {
 				le = trimFloat(h.Bounds[i])
 			}
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", pn, mergeLE(labels, le), cum)
 		}
-		fmt.Fprintf(w, "%s_sum %g\n", pn, h.Sum)
-		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum%s %g\n", pn, labels, h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", pn, labels, h.Count)
+	})
+}
+
+// writeGrouped renders one metric map: series are grouped by base name
+// (sorted), each group gets one # TYPE line, and within a group the
+// unlabeled aggregate renders first, then the children in canonical
+// order.
+func writeGrouped[V any](w io.Writer, m map[string]V, typ string,
+	render func(io.Writer, string, string, V)) {
+	for _, base := range groupBases(m) {
+		pn := promName(base)
+		fmt.Fprintf(w, "# TYPE %s %s\n", pn, typ)
+		if v, ok := m[base]; ok {
+			render(w, pn, "", v)
+		}
+		for _, series := range sortedNames(m) {
+			sb, labels := SplitSeries(series)
+			if sb != base || len(labels) == 0 {
+				continue
+			}
+			var b strings.Builder
+			writeLabelSet(&b, labels)
+			render(w, pn, b.String(), m[series])
+		}
 	}
+}
+
+// groupBases returns the sorted distinct base names of a metric map.
+func groupBases[V any](m map[string]V) []string {
+	seen := make(map[string]bool, len(m))
+	var out []string
+	for series := range m {
+		base, _ := SplitSeries(series)
+		if !seen[base] {
+			seen[base] = true
+			out = append(out, base)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeLE appends the le label to an already-rendered label set.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(labels, "}"), le)
 }
 
 func promName(name string) string {

@@ -164,8 +164,11 @@ func runPool(name string, n int, cfg Config, ops *core.Ops,
 				rep.QueueWait.Seconds())
 			cfg.Registry.Observe(name+".shutdown_wait.seconds", obs.LatencyBuckets,
 				rep.ShutdownWait.Seconds())
-			for _, c := range rep.PerWorker {
-				cfg.Registry.Observe("pipeline.worker.stripes", obs.SizeBuckets, float64(c))
+			for w, c := range rep.PerWorker {
+				// Per-worker children; the family aggregate keeps the bare
+				// pipeline.worker.stripes distribution across all workers.
+				cfg.Registry.ObserveWith("pipeline.worker.stripes", obs.SizeBuckets,
+					float64(c), obs.Li("worker", w))
 			}
 		}
 		if err != nil {

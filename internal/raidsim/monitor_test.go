@@ -92,7 +92,7 @@ func TestMonitorObservesScrub(t *testing.T) {
 	}
 	found := false
 	for _, r := range h.Reasons {
-		if r.Target == "disk.2" && strings.Contains(r.Metric, "raid.scrub.repairs.disk.2") {
+		if r.Target == "disk.2" && strings.Contains(r.Metric, `raid.scrub.repairs{disk="2"}`) {
 			found = true
 		}
 	}

@@ -64,7 +64,15 @@ func (a *Array) count(name string, n uint64) {
 	a.obs.Count(name, n)
 }
 
-// scrubRepairCounter names the per-disk scrub repair counter.
+// countDisk bumps a disk-labeled event counter: the snapshot renders
+// the child as name{disk="N"}, the family total under the bare name,
+// and the legacy dotted alias name.disk.N for old dashboards.
+func (a *Array) countDisk(name string, disk int, n uint64) {
+	a.obs.CountWith(name, n, obs.Li("disk", disk))
+}
+
+// scrubRepairCounter names the flat compatibility alias of the per-disk
+// scrub repair series (the child itself is raid.scrub.repairs{disk=N}).
 func scrubRepairCounter(disk int) string {
 	return fmt.Sprintf("raid.scrub.repairs.disk.%d", disk)
 }

@@ -105,6 +105,7 @@ func DecodeReport(manifestPath string, w io.Writer, opt Options) (_ *Report, err
 	if err != nil {
 		return nil, err
 	}
+	countShardOp(opt.Registry, "decode", m.Code)
 
 	r := newRecovery(m, code, opt, st, ctx, filepath.Dir(manifestPath))
 	sink := &decodeSink{w: w, m: m}
@@ -152,6 +153,7 @@ func RepairOpts(manifestPath string, opt Options) (_ []int, err error) {
 	if err != nil {
 		return nil, err
 	}
+	countShardOp(opt.Registry, "repair", m.Code)
 
 	dir := filepath.Dir(manifestPath)
 	r := newRecovery(m, code, opt, st, ctx, dir)

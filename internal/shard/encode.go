@@ -87,6 +87,7 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 	if err != nil {
 		return nil, err
 	}
+	countShardOp(reg, "encode", codeName)
 	ctx, sp := obs.StartOp(opt.context(), opt.Tracer, reg, "shard.encode",
 		slog.String("file", filepath.Base(fileName)), slog.Int("k", k))
 	defer func() {

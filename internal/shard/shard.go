@@ -444,6 +444,13 @@ func probeShards(ctx context.Context, m *Manifest, dir string, st store.Store,
 	return files, status, hard, soft
 }
 
+// countShardOp bills one top-level shard operation into the
+// shard.ops{op,code} family; the snapshot aggregate keeps the bare
+// shard.ops total. No-op without a registry.
+func countShardOp(reg *obs.Registry, op, code string) {
+	reg.CountWith("shard.ops", 1, obs.L("op", op), obs.L("code", code))
+}
+
 // Verify probes the shard set's health without decoding anything. It
 // returns nil when every shard is clean, a *DegradedError when at most
 // two shards are unusable (recovery would succeed), and an
@@ -462,6 +469,7 @@ func Verify(manifestPath string, opt Options) (err error) {
 	if err != nil {
 		return err
 	}
+	countShardOp(opt.Registry, "verify", m.Code)
 	files, status, hard, soft := probeShards(ctx, m, filepath.Dir(manifestPath), st,
 		nodeMapperOf(opt.Store), opt.Registry, nil)
 	for _, f := range files {

@@ -5,7 +5,12 @@ import (
 )
 
 // WithMetrics wraps a Store so every byte moved and every operation
-// issued is billed into reg:
+// issued is billed into reg. Each operation feeds two labeled families,
+//
+//	store.io{op="read|write|open|create|sync"}        counter  calls
+//	store.io.bytes{op="read|write"}                   counter  bytes moved
+//
+// plus the legacy flat counters existing dashboards scrape:
 //
 //	store.bytes_read       counter  bytes actually returned by ReadAt
 //	store.bytes_written    counter  bytes actually accepted by WriteAt
@@ -25,12 +30,44 @@ func WithMetrics(base Store, reg *obs.Registry) Store {
 	if reg == nil {
 		return base
 	}
-	return &meteredStore{base: base, reg: reg}
+	return &meteredStore{base: base, reg: reg, ops: newOpMetrics(reg)}
+}
+
+// opMetrics holds the interned labeled children plus the legacy flat
+// counters, resolved once so the I/O path is a plain atomic add.
+type opMetrics struct {
+	opens, creates, syncs       *obs.Counter // store.io{op=...}
+	reads, writes               *obs.Counter
+	readBytes, writeBytes       *obs.Counter // store.io.bytes{op=...}
+	flatOpens, flatCreates      *obs.Counter // legacy flat spellings
+	flatSyncs                   *obs.Counter
+	flatReads, flatWrites       *obs.Counter
+	flatBytesRead, flatBytesOut *obs.Counter
+}
+
+func newOpMetrics(reg *obs.Registry) opMetrics {
+	return opMetrics{
+		opens:         reg.CounterWith("store.io", obs.L("op", "open")),
+		creates:       reg.CounterWith("store.io", obs.L("op", "create")),
+		syncs:         reg.CounterWith("store.io", obs.L("op", "sync")),
+		reads:         reg.CounterWith("store.io", obs.L("op", "read")),
+		writes:        reg.CounterWith("store.io", obs.L("op", "write")),
+		readBytes:     reg.CounterWith("store.io.bytes", obs.L("op", "read")),
+		writeBytes:    reg.CounterWith("store.io.bytes", obs.L("op", "write")),
+		flatOpens:     reg.Counter("store.opens"),
+		flatCreates:   reg.Counter("store.creates"),
+		flatSyncs:     reg.Counter("store.syncs"),
+		flatReads:     reg.Counter("store.reads"),
+		flatWrites:    reg.Counter("store.writes"),
+		flatBytesRead: reg.Counter("store.bytes_read"),
+		flatBytesOut:  reg.Counter("store.bytes_written"),
+	}
 }
 
 type meteredStore struct {
 	base Store
 	reg  *obs.Registry
+	ops  opMetrics
 }
 
 func (s *meteredStore) Open(path string) (File, error) {
@@ -38,8 +75,9 @@ func (s *meteredStore) Open(path string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.reg.Count("store.opens", 1)
-	return &meteredFile{base: f, reg: s.reg}, nil
+	s.ops.opens.Inc()
+	s.ops.flatOpens.Inc()
+	return &meteredFile{base: f, ops: &s.ops}, nil
 }
 
 func (s *meteredStore) Create(path string) (File, error) {
@@ -47,8 +85,9 @@ func (s *meteredStore) Create(path string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.reg.Count("store.creates", 1)
-	return &meteredFile{base: f, reg: s.reg}, nil
+	s.ops.creates.Inc()
+	s.ops.flatCreates.Inc()
+	return &meteredFile{base: f, ops: &s.ops}, nil
 }
 
 func (s *meteredStore) Rename(oldPath, newPath string) error { return s.base.Rename(oldPath, newPath) }
@@ -56,23 +95,27 @@ func (s *meteredStore) Remove(path string) error             { return s.base.Rem
 
 type meteredFile struct {
 	base File
-	reg  *obs.Registry
+	ops  *opMetrics
 }
 
 func (f *meteredFile) ReadAt(p []byte, off int64) (int, error) {
 	n, err := f.base.ReadAt(p, off)
-	f.reg.Count("store.reads", 1)
+	f.ops.reads.Inc()
+	f.ops.flatReads.Inc()
 	if n > 0 {
-		f.reg.Count("store.bytes_read", uint64(n))
+		f.ops.readBytes.Add(uint64(n))
+		f.ops.flatBytesRead.Add(uint64(n))
 	}
 	return n, err
 }
 
 func (f *meteredFile) WriteAt(p []byte, off int64) (int, error) {
 	n, err := f.base.WriteAt(p, off)
-	f.reg.Count("store.writes", 1)
+	f.ops.writes.Inc()
+	f.ops.flatWrites.Inc()
 	if n > 0 {
-		f.reg.Count("store.bytes_written", uint64(n))
+		f.ops.writeBytes.Add(uint64(n))
+		f.ops.flatBytesOut.Add(uint64(n))
 	}
 	return n, err
 }
@@ -82,6 +125,7 @@ func (f *meteredFile) Close() error { return f.base.Close() }
 func (f *meteredFile) Size() (int64, error) { return f.base.Size() }
 
 func (f *meteredFile) Sync() error {
-	f.reg.Count("store.syncs", 1)
+	f.ops.syncs.Inc()
+	f.ops.flatSyncs.Inc()
 	return f.base.Sync()
 }

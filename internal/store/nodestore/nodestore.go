@@ -154,6 +154,48 @@ type node struct {
 	down    bool
 	breaker breaker
 	lat     *latWindow
+	met     nodeMetrics
+}
+
+// nodeMetrics holds one node's interned labeled metric children —
+// resolved once at construction, so the per-op hot path is a plain
+// atomic add. Every handle is nil (a valid no-op) when the store is
+// unregistered. The snapshot layer renders the per-node children
+// (nodestore.down.total{node="1"}), the family aggregates under the
+// pre-label flat names (nodestore.down.total), and the dotted aliases.
+type nodeMetrics struct {
+	ops          *obs.Counter   // nodestore.ops.total{node}
+	down         *obs.Counter   // nodestore.down.total{node}
+	refused      *obs.Counter   // nodestore.refused.total{node}
+	fastfail     *obs.Counter   // store.breaker.fastfail.total{node}
+	timeout      *obs.Counter   // nodestore.timeout.total{node}
+	replaced     *obs.Counter   // nodestore.replaced.total{node}
+	outages      *obs.Counter   // nodestore.outage.transitions{node}
+	injected     *obs.Counter   // nodestore.latency.injected.total{node}
+	hedgeFired   *obs.Counter   // store.hedge.fired{node}
+	hedgeWins    *obs.Counter   // store.hedge.wins{node}
+	breakerOpen  *obs.Counter   // store.breaker.open.total{node}
+	breakerClose *obs.Counter   // store.breaker.close.total{node}
+	seconds      *obs.Histogram // store.node.seconds{node}: injected per-op latency
+}
+
+func newNodeMetrics(reg *obs.Registry, nodeID int) nodeMetrics {
+	l := obs.Li("node", nodeID)
+	return nodeMetrics{
+		ops:          reg.CounterWith("nodestore.ops.total", l),
+		down:         reg.CounterWith("nodestore.down.total", l),
+		refused:      reg.CounterWith("nodestore.refused.total", l),
+		fastfail:     reg.CounterWith("store.breaker.fastfail.total", l),
+		timeout:      reg.CounterWith("nodestore.timeout.total", l),
+		replaced:     reg.CounterWith("nodestore.replaced.total", l),
+		outages:      reg.CounterWith("nodestore.outage.transitions", l),
+		injected:     reg.CounterWith("nodestore.latency.injected.total", l),
+		hedgeFired:   reg.CounterWith("store.hedge.fired", l),
+		hedgeWins:    reg.CounterWith("store.hedge.wins", l),
+		breakerOpen:  reg.CounterWith("store.breaker.open.total", l),
+		breakerClose: reg.CounterWith("store.breaker.close.total", l),
+		seconds:      reg.HistogramWith("store.node.seconds", obs.LatencyBuckets, l),
+	}
 }
 
 // New wraps the configured backing store(s) behind n simulated nodes.
@@ -185,7 +227,7 @@ func New(cfg Config) *Store {
 		} else {
 			s.inner[i] = base
 		}
-		s.nodes[i] = &node{lat: newLatWindow(cfg.Hedge.window())}
+		s.nodes[i] = &node{lat: newLatWindow(cfg.Hedge.window()), met: newNodeMetrics(s.reg, i)}
 	}
 	return s
 }
@@ -341,13 +383,18 @@ func (s *Store) spareLocked(home int) (int, bool) {
 	return 0, false
 }
 
-// report bills the verdict's metrics and emits its events into ctx's
-// trace. Called outside the lock.
+// report bills the verdict's metrics — per-node labeled children; the
+// snapshot aggregates preserve the pre-label flat names — and emits its
+// events into ctx's trace. Called outside the lock (node metrics are
+// immutable after New). The verdict's replacement counter is billed to
+// the node the create was moved OFF of: that is the node whose failure
+// the re-placement evidences.
 func (s *Store) report(ctx context.Context, v verdict) {
-	s.reg.Count("nodestore.ops.total", 1)
+	m := &s.nodes[v.node].met
+	m.ops.Inc()
 	if v.wentDown {
 		s.addGauge("nodestore.nodes_down", 1)
-		s.reg.Count("nodestore.outage.transitions", 1)
+		m.outages.Inc()
 		obs.Emit(ctx, slog.LevelWarn, "nodestore.node_down", slog.Int("node", v.node))
 	}
 	if v.cameUp {
@@ -355,7 +402,7 @@ func (s *Store) report(ctx context.Context, v verdict) {
 		obs.Emit(ctx, slog.LevelInfo, "nodestore.node_up", slog.Int("node", v.node))
 	}
 	if v.breakerOpened {
-		s.reg.Count("store.breaker.open.total", 1)
+		m.breakerOpen.Inc()
 		if v.breakerGaugeUp {
 			s.addGauge("store.breaker.open", 1)
 		}
@@ -363,38 +410,39 @@ func (s *Store) report(ctx context.Context, v verdict) {
 			slog.String("state", "open"), slog.Int("node", v.node))
 	}
 	if v.breakerClosed {
-		s.reg.Count("store.breaker.close.total", 1)
+		m.breakerClose.Inc()
 		s.addGauge("store.breaker.open", -1)
 		obs.Emit(ctx, slog.LevelInfo, "store.breaker",
 			slog.String("state", "closed"), slog.Int("node", v.node))
 	}
 	if v.replacedFrom >= 0 {
-		s.reg.Count("nodestore.replaced.total", 1)
+		s.nodes[v.replacedFrom].met.replaced.Inc()
 		obs.Emit(ctx, slog.LevelWarn, "nodestore.replace",
 			slog.String("path", v.path), slog.Int("from", v.replacedFrom), slog.Int("to", v.node))
 	}
 	if v.hedged {
-		s.reg.Count("store.hedge.fired", 1)
+		m.hedgeFired.Inc()
 		if v.hedgeWon {
-			s.reg.Count("store.hedge.wins", 1)
+			m.hedgeWins.Inc()
 		}
 		obs.Emit(ctx, slog.LevelInfo, "store.hedge",
 			slog.Int("node", v.node), slog.String("op", v.op), slog.Bool("won", v.hedgeWon))
 	}
 	if v.sleepFor > 0 {
-		s.reg.Count("nodestore.latency.injected.total", 1)
+		m.injected.Inc()
 	}
+	m.seconds.Observe(v.sleepFor.Seconds())
 	if v.timeout {
-		s.reg.Count("nodestore.timeout.total", 1)
+		m.timeout.Inc()
 		obs.Emit(ctx, slog.LevelWarn, "nodestore.timeout",
 			slog.Int("node", v.node), slog.String("op", v.op), slog.String("path", v.path))
 	}
 	if v.refuse != nil {
-		s.reg.Count("nodestore.refused.total", 1)
+		m.refused.Inc()
 		if v.refuse.Kind == store.KindNodeDown {
-			s.reg.Count("nodestore.down.total", 1)
+			m.down.Inc()
 		} else {
-			s.reg.Count("store.breaker.fastfail.total", 1)
+			m.fastfail.Inc()
 		}
 		obs.EmitErr(ctx, slog.LevelWarn, "nodestore.refuse", v.refuse.Err,
 			slog.Int("node", v.node), slog.String("op", v.op),

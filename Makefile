@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint-metrics check verify conformance chaos chaos-nodes bench bench-obs bench-gate bench-correct bench-parallel bench-baseline race-obs monitor-soak clean
+.PHONY: all build test race vet fmt lint-metrics check verify conformance chaos chaos-nodes chaos-triple bench bench-obs bench-gate bench-correct bench-parallel bench-baseline race-obs monitor-soak clean
 
 all: build
 
@@ -62,6 +62,14 @@ chaos:
 # at node granularity); everything else must end in a typed error.
 chaos-nodes:
 	CHAOS_NODE_SCHEDULES=500 $(GO) test -count=1 -run TestChaosNodesSoak -v ./internal/shard/
+
+# chaos-triple is the triple-fault soak: seeded schedules mixing
+# whole-node outages with disk-level shard deletions and silent
+# corruption — at most three failures per schedule, the rs3 parity
+# budget — so every decode must be byte-identical and every repair must
+# heal the set back to a clean verify. Reproduces from the logged seed.
+chaos-triple:
+	CHAOS_TRIPLE_SCHEDULES=600 $(GO) test -count=1 -run TestChaosTripleSoak -v ./internal/shard/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

@@ -1,12 +1,14 @@
-// Command raidcli encodes files into RAID-6 shard sets and recovers
-// them with up to two shards missing or silently corrupted. The erasure
-// code is selected by registry name (-code liberation|rdp|evenodd|...);
-// recovery reads the code from the manifest, where -code and -p act as
-// cross-checks.
+// Command raidcli encodes files into erasure-coded shard sets and
+// recovers them with up to m shards missing or silently corrupted —
+// two for the RAID-6 families, three for the rs3 triple-parity code.
+// The erasure code is selected by registry name (-code
+// liberation|rdp|evenodd|rs3|...); -m cross-checks the family's parity
+// count. Recovery reads the code from the manifest, where -code, -p,
+// and -m act as cross-checks.
 //
 // Usage:
 //
-//	raidcli encode -k 6 [-code liberation] [-p 7] [-elem 4096] [-out DIR] [-workers N] [-batch N] FILE
+//	raidcli encode -k 6 [-code liberation] [-p 7] [-m M] [-elem 4096] [-out DIR] [-workers N] [-batch N] FILE
 //	raidcli decode [-out FILE] [-code NAME] [-heal] [-workers N] [-batch N] MANIFEST
 //	raidcli repair [-code NAME] [-workers N] [-batch N] MANIFEST
 //	raidcli verify [-code NAME] MANIFEST
@@ -140,7 +142,7 @@ func run(cmd string, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  raidcli encode -k K [-code NAME] [-p P] [-elem N] [-out DIR] [-workers N] [-batch N] FILE
+  raidcli encode -k K [-code NAME] [-p P] [-m M] [-elem N] [-out DIR] [-workers N] [-batch N] FILE
   raidcli decode [-out FILE] [-code NAME] [-heal] [-workers N] [-batch N] MANIFEST
   raidcli repair [-code NAME] [-workers N] [-batch N] MANIFEST
   raidcli verify [-code NAME] MANIFEST
@@ -153,6 +155,9 @@ code selection:
                         Registered: `+strings.Join(codes.Names(), ", ")+`
   -p P                  prime parameter of the array codes (encode: 0 = smallest
                         usable; recovery cross-checks the manifest)
+  -m M                  parity shard count the family must provide (0 = don't
+                        check; the name picks the count — RAID-6 families have
+                        2, rs3 has 3; recovery cross-checks the manifest)
 
 robustness flags (encode/decode/repair/verify):
   -retries N            transient-I/O retries per operation (default 3)
@@ -175,6 +180,7 @@ observability flags (encode/decode/repair/verify):
 type ioFlags struct {
 	code           string
 	prime          int
+	parities       int
 	workers, batch int
 	stats          bool
 	logJSON        bool
@@ -188,7 +194,7 @@ type ioFlags struct {
 
 func addIOFlags(fs *flag.FlagSet) *ioFlags {
 	f := &ioFlags{}
-	addCodeFlags(fs, &f.code, &f.prime)
+	addCodeFlags(fs, &f.code, &f.prime, &f.parities)
 	fs.IntVar(&f.workers, "workers", 1, "parallel coding workers (0 = all cores)")
 	fs.IntVar(&f.batch, "batch", 0, "stripes per streaming batch (0 = default)")
 	fs.BoolVar(&f.stats, "stats", false, "print operation statistics")
@@ -205,20 +211,24 @@ func addIOFlags(fs *flag.FlagSet) *ioFlags {
 // addCodeFlags registers the code-selection flags shared by every
 // subcommand: encode uses them to pick the code, the recovery commands
 // treat them as cross-checks against the manifest.
-func addCodeFlags(fs *flag.FlagSet, code *string, prime *int) {
+func addCodeFlags(fs *flag.FlagSet, code *string, prime *int, parities *int) {
 	fs.StringVar(code, "code", "", "erasure code by registry name: "+strings.Join(codes.Names(), ", "))
 	fs.IntVar(prime, "p", 0, "prime parameter (0 = smallest usable)")
+	fs.IntVar(parities, "m", 0, "parity shard count to require of the family (0 = don't check)")
 }
 
 // checkManifest cross-checks explicitly given -code/-p flags against a
 // loaded manifest, catching an operator pointing the wrong expectation
 // at a shard set before any shard I/O happens.
-func checkManifest(m *shard.Manifest, code string, prime int) error {
+func checkManifest(m *shard.Manifest, code string, prime, parities int) error {
 	if code != "" && code != m.Code {
 		return usagef("manifest was encoded with code %q, not %q", m.Code, code)
 	}
 	if prime != 0 && prime != m.P {
 		return usagef("manifest was encoded with p=%d, not %d", m.P, prime)
+	}
+	if parities != 0 && parities != m.M {
+		return usagef("manifest was encoded with m=%d parities, not %d", m.M, parities)
 	}
 	return nil
 }
@@ -334,6 +344,20 @@ func cmdEncode(args []string) error {
 		return err
 	}
 	opt.Code = iof.code
+	if iof.parities != 0 {
+		name := iof.code
+		if name == "" {
+			name = codes.Default
+		}
+		info, ok := codes.Lookup(name)
+		if !ok {
+			return usagef("unknown code %q (registered: %s)", name, strings.Join(codes.Names(), ", "))
+		}
+		if info.M != iof.parities {
+			return usagef("code %q has %d parities, not %d — pick a family with the parity count you need (see -code)",
+				name, info.M, iof.parities)
+		}
+	}
 	path := fs.Arg(0)
 	f, err := os.Open(path)
 	if err != nil {
@@ -350,8 +374,8 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("encoded %s (%d bytes) as %d+2 shards (%s, p=%d, %d stripes, element %dB) in %s\n",
-		m.FileName, m.FileSize, m.K, m.Code, m.P, m.Stripes, m.ElemSize, *out)
+	fmt.Printf("encoded %s (%d bytes) as %d+%d shards (%s, p=%d, %d stripes, element %dB) in %s\n",
+		m.FileName, m.FileSize, m.K, m.M, m.Code, m.P, m.Stripes, m.ElemSize, *out)
 	printStats(os.Stdout, reg, m.K)
 	return nil
 }
@@ -374,7 +398,7 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := checkManifest(m, iof.code, iof.prime); err != nil {
+	if err := checkManifest(m, iof.code, iof.prime, iof.parities); err != nil {
 		return err
 	}
 	dest := *out
@@ -429,7 +453,7 @@ func cmdRepair(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := checkManifest(m, iof.code, iof.prime); err != nil {
+	if err := checkManifest(m, iof.code, iof.prime, iof.parities); err != nil {
 		return err
 	}
 	done := iof.traced(&opt, reg, "raidcli.repair")
@@ -458,7 +482,7 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	if m, merr := shard.LoadManifest(fs.Arg(0)); merr == nil {
-		if err := checkManifest(m, iof.code, iof.prime); err != nil {
+		if err := checkManifest(m, iof.code, iof.prime, iof.parities); err != nil {
 			return err
 		}
 	}
@@ -488,8 +512,8 @@ func cmdVerify(args []string) error {
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
 	var codeName string
-	var prime int
-	addCodeFlags(fs, &codeName, &prime)
+	var prime, parities int
+	addCodeFlags(fs, &codeName, &prime, &parities)
 	if err := parseFlags(fs, args, 1, "one manifest"); err != nil {
 		return err
 	}
@@ -497,7 +521,7 @@ func cmdInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := checkManifest(m, codeName, prime); err != nil {
+	if err := checkManifest(m, codeName, prime, parities); err != nil {
 		return err
 	}
 	desc := ""
@@ -505,10 +529,10 @@ func cmdInfo(args []string) error {
 		desc = " — " + info.Description
 	}
 	fmt.Printf("file:      %s (%d bytes)\n", m.FileName, m.FileSize)
-	fmt.Printf("code:      %s k=%d p=%d w=%d (tolerates any 2 lost shards)%s\n",
-		m.Code, m.K, m.P, m.W, desc)
-	fmt.Printf("layout:    %d stripes, %dB elements, %d shards\n", m.Stripes, m.ElemSize, m.K+2)
-	for i := 0; i < m.K+2; i++ {
+	fmt.Printf("code:      %s k=%d p=%d w=%d m=%d (tolerates any %d lost shards)%s\n",
+		m.Code, m.K, m.P, m.W, m.M, m.M, desc)
+	fmt.Printf("layout:    %d stripes, %dB elements, %d shards\n", m.Stripes, m.ElemSize, m.NumShards())
+	for i := 0; i < m.NumShards(); i++ {
 		fmt.Printf("  %-16s crc32=%08x\n", m.ShardName(i), m.Checksums[i])
 	}
 	return nil

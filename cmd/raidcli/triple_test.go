@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCLITripleParity drives the rs3 family end to end through the real
+// subcommands: encode with the -m cross-check, lose three shards at once
+// (including an r-numbered extra parity), decode byte-identically, then
+// repair and verify back to healthy.
+func TestCLITripleParity(t *testing.T) {
+	dir := t.TempDir()
+	blob := filepath.Join(dir, "blob.bin")
+	content := make([]byte, 30_000)
+	rand.New(rand.NewSource(9)).Read(content)
+	if err := os.WriteFile(blob, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("encode",
+		[]string{"-k", "4", "-code", "rs3", "-m", "3", "-elem", "512", "-out", dir, blob}); err != nil {
+		t.Fatalf("encode rs3: %v", err)
+	}
+	manifest := filepath.Join(dir, "blob.bin.manifest.json")
+	if err := run("info", []string{"-m", "3", manifest}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+
+	// Lose the full parity budget: two data shards plus the third parity.
+	for _, name := range []string{"blob.bin.shard.d00", "blob.bin.shard.d02", "blob.bin.shard.r04"} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "recovered.bin")
+	if err := run("decode", []string{"-m", "3", "-out", out, manifest}); err != nil {
+		t.Fatalf("triple-loss decode: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("triple-loss decode produced wrong bytes")
+	}
+	if err := run("repair", []string{manifest}); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := run("verify", []string{manifest}); err != nil {
+		t.Fatalf("verify after repair: %v", err)
+	}
+
+	// A fourth loss exceeds the budget: exit 2.
+	for _, name := range []string{"blob.bin.shard.d00", "blob.bin.shard.d01",
+		"blob.bin.shard.d03", "blob.bin.shard.p"} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := realMain([]string{"decode", "-out", out, manifest}); got != exitUnrecoverable {
+		t.Errorf("4-shard loss: exit %d, want %d", got, exitUnrecoverable)
+	}
+}
+
+// TestCLIParityCountCrossChecks pins the -m contract: a mismatch against
+// the chosen family on encode, or against the manifest on recovery, is a
+// usage error (exit 64) caught before any shard I/O.
+func TestCLIParityCountCrossChecks(t *testing.T) {
+	dir := t.TempDir()
+	blob := filepath.Join(dir, "blob.bin")
+	if err := os.WriteFile(blob, []byte("short and sweet"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The default family has two parities, not three.
+	if got := realMain([]string{"encode", "-k", "3", "-m", "3", "-out", dir, blob}); got != exitUsage {
+		t.Errorf("encode -m 3 against a RAID-6 family: exit %d, want %d", got, exitUsage)
+	}
+	// rs3 has three, not two.
+	if got := realMain([]string{"encode", "-k", "3", "-code", "rs3", "-m", "2", "-out", dir, blob}); got != exitUsage {
+		t.Errorf("encode -code rs3 -m 2: exit %d, want %d", got, exitUsage)
+	}
+
+	if err := run("encode", []string{"-k", "3", "-m", "2", "-elem", "256", "-out", dir, blob}); err != nil {
+		t.Fatalf("encode with a correct -m: %v", err)
+	}
+	manifest := filepath.Join(dir, "blob.bin.manifest.json")
+	for _, cmd := range []string{"decode", "repair", "verify", "info"} {
+		if got := realMain([]string{cmd, "-m", "3", manifest}); got != exitUsage {
+			t.Errorf("%s -m 3 against an m=2 manifest: exit %d, want %d", cmd, got, exitUsage)
+		}
+	}
+	if err := run("verify", []string{"-m", "2", manifest}); err != nil {
+		t.Fatalf("verify with the matching -m: %v", err)
+	}
+}

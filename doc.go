@@ -5,9 +5,14 @@
 // The implementation lives under internal/: the Liberation codes with
 // both the original bit-matrix-scheduled algorithms and the paper's
 // optimal Algorithms 1-4 (internal/liberation), the EVENODD and RDP
-// baselines, a Jerasure-equivalent bit-matrix substrate, a Reed-Solomon
-// P+Q baseline, a RAID-6 array simulator, and the experiment drivers that
-// regenerate every table and figure of the paper's evaluation. See
+// baselines, a Jerasure-equivalent bit-matrix substrate, Reed-Solomon
+// baselines (the classic P+Q pair plus a generalized m-parity family
+// whose rs3 instance survives any triple fault), an array simulator,
+// and the experiment drivers that
+// regenerate every table and figure of the paper's evaluation. The
+// whole stack is parameterized over the parity count m — stripes carry
+// k data strips plus m parities, and every layer (codes, shard engine,
+// simulator, CLI) handles up to m concurrent losses. See
 // README.md, DESIGN.md and EXPERIMENTS.md, the runnable examples under
 // examples/, and the benchmarks in bench_test.go.
 package repro

@@ -105,7 +105,7 @@ func MeasureEncode(c core.Code, elemSize int, opt Options) float64 {
 }
 
 func measureEncodeOnce(c core.Code, elemSize int, opt Options) float64 {
-	s := core.NewStripe(c.K(), c.W(), elemSize)
+	s := core.NewStripeFor(c, elemSize)
 	s.FillRandom(rand.New(rand.NewSource(1)))
 	if err := c.Encode(s, nil); err != nil {
 		panic(err)
@@ -137,12 +137,12 @@ func MeasureDecode(c core.Code, elemSize int, opt Options) float64 {
 }
 
 func measureDecodeOnce(c core.Code, elemSize int, opt Options) float64 {
-	s := core.NewStripe(c.K(), c.W(), elemSize)
+	s := core.NewStripeFor(c, elemSize)
 	s.FillRandom(rand.New(rand.NewSource(2)))
 	if err := c.Encode(s, nil); err != nil {
 		panic(err)
 	}
-	patterns := core.ErasurePairs(c.K() + 2)
+	patterns := core.ErasurePairs(c.K() + c.M())
 	if opt.MaxPatterns > 0 && len(patterns) > opt.MaxPatterns {
 		// Deterministic spread over the pattern space.
 		step := len(patterns) / opt.MaxPatterns

@@ -83,6 +83,10 @@ func (c *Code) Name() string { return c.name }
 func (c *Code) K() int       { return c.k }
 func (c *Code) W() int       { return c.w }
 
+// M returns 2: the bit-matrix codes here (liberation-original, CRS) are
+// RAID-6 generators with 2w rows.
+func (c *Code) M() int { return 2 }
+
 // ElemwiseEncode marks the code for stripe-sharded encoding: the
 // schedule runners address the stripe only through Elem (see
 // core.ElemwiseEncoder).
@@ -116,7 +120,7 @@ func (c *Code) Encode(s *core.Stripe, ops *core.Ops) error {
 }
 
 func (c *Code) encode(s *core.Stripe, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, c.w); err != nil {
+	if err := s.CheckShape(c.k, 2, c.w); err != nil {
 		return err
 	}
 	if c.LazyEncodeSchedule {
@@ -136,7 +140,7 @@ func (c *Code) Decode(s *core.Stripe, erased []int, ops *core.Ops) error {
 }
 
 func (c *Code) decode(s *core.Stripe, erased []int, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, c.w); err != nil {
+	if err := s.CheckShape(c.k, 2, c.w); err != nil {
 		return err
 	}
 	if len(erased) == 0 {

@@ -1,4 +1,4 @@
-// Package codes is the central registry of the RAID-6 erasure codes in
+// Package codes is the central registry of the erasure codes in
 // this repository. Every layer of the production stack — the streaming
 // shard data path, the array simulator, the CLIs, and the benchmark
 // harnesses — resolves a code by name through this package instead of
@@ -66,6 +66,9 @@ type Info struct {
 	// family's parameter space (smallest usable, k == limit, auto-p, a
 	// mid-size array). Conformance and round-trip matrices iterate it.
 	TestShapes []Shape
+	// M is the family's parity count (its erasure tolerance); the RAID-6
+	// families have M = 2, which register() fills in when left zero.
+	M int
 
 	build func(k, p int) (core.Code, error)
 }
@@ -85,6 +88,9 @@ var registry = make(map[string]*Info)
 func register(info *Info) {
 	if _, dup := registry[info.Name]; dup {
 		panic(fmt.Sprintf("codes: duplicate registration of %q", info.Name))
+	}
+	if info.M == 0 {
+		info.M = 2
 	}
 	registry[info.Name] = info
 }
@@ -145,6 +151,16 @@ func init() {
 		TestShapes:  []Shape{{K: 3}, {K: 8}},
 		build: func(k, _ int) (core.Code, error) {
 			return rs.New(k)
+		},
+	})
+	register(&Info{
+		Name:        "rs3",
+		Description: "Triple-parity Reed-Solomon over GF(2^8) (W = 1, tolerates any 3 erasures)",
+		UsesPrime:   false,
+		M:           3,
+		TestShapes:  []Shape{{K: 3}, {K: 6}},
+		build: func(k, _ int) (core.Code, error) {
+			return rs.NewM(k, 3)
 		},
 	})
 	register(&Info{

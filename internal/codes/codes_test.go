@@ -18,7 +18,7 @@ func TestRegistryEnumeration(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("Names() not sorted: %v", names)
 	}
-	for _, want := range []string{"crs", "evenodd", "liberation", "liberation-original", "rdp", "rs"} {
+	for _, want := range []string{"crs", "evenodd", "liberation", "liberation-original", "rdp", "rs", "rs3"} {
 		if !codes.Known(want) {
 			t.Errorf("Known(%q) = false", want)
 		}
@@ -39,6 +39,9 @@ func TestRegistryEnumeration(t *testing.T) {
 		}
 		if len(info.TestShapes) == 0 {
 			t.Errorf("%s: no test shapes — the conformance matrix would skip it", info.Name)
+		}
+		if info.M < 2 {
+			t.Errorf("%s: registry advertises M = %d", info.Name, info.M)
 		}
 		got, ok := codes.Lookup(info.Name)
 		if !ok || got != info {
@@ -102,6 +105,10 @@ func TestShapesConstruct(t *testing.T) {
 			}
 			if code.K() != sh.K {
 				t.Errorf("%s k=%d p=%d: code.K() = %d", info.Name, sh.K, sh.P, code.K())
+			}
+			if code.M() != info.M {
+				t.Errorf("%s k=%d p=%d: code.M() = %d, registry says %d",
+					info.Name, sh.K, sh.P, code.M(), info.M)
 			}
 			// Codes that expose their prime must report the one requested.
 			// (The bitmatrix-scheduled families don't expose one; the

@@ -1,10 +1,10 @@
 // Package codetest is a conformance battery for core.Code
-// implementations: any RAID-6 code in this repository (and any future
+// implementations: any erasure code in this repository (and any future
 // one) must encode deterministically, behave linearly over GF(2), map
-// zero data to zero parity, survive every one- and two-strip erasure,
-// fully overwrite whatever garbage sits in erased strips, and — when it
-// supports small writes — keep parity consistent under random updates.
-// Each code package runs this battery from a one-line test.
+// zero data to zero parity, survive every erasure pattern of up to M
+// strips, fully overwrite whatever garbage sits in erased strips, and —
+// when it supports small writes — keep parity consistent under random
+// updates. Each code package runs this battery from a one-line test.
 package codetest
 
 import (
@@ -30,7 +30,7 @@ func Run(t *testing.T, code core.Code) {
 }
 
 func freshStripe(code core.Code, seed int64) *core.Stripe {
-	s := core.NewStripe(code.K(), code.W(), 16)
+	s := core.NewStripeFor(code, 16)
 	s.FillRandom(rand.New(rand.NewSource(seed)))
 	return s
 }
@@ -60,7 +60,7 @@ func deterministic(t *testing.T, code core.Code) {
 func linear(t *testing.T, code core.Code) {
 	a := freshStripe(code, 2)
 	b := freshStripe(code, 3)
-	sum := core.NewStripe(code.K(), code.W(), 16)
+	sum := core.NewStripeFor(code, 16)
 	for col := 0; col < code.K(); col++ {
 		xorblk.Xor(sum.Strips[col], a.Strips[col], b.Strips[col])
 	}
@@ -69,7 +69,7 @@ func linear(t *testing.T, code core.Code) {
 			t.Fatal(err)
 		}
 	}
-	for col := code.K(); col < code.K()+2; col++ {
+	for col := code.K(); col < code.K()+code.M(); col++ {
 		want := make([]byte, len(sum.Strips[col]))
 		xorblk.Xor(want, a.Strips[col], b.Strips[col])
 		if string(want) != string(sum.Strips[col]) {
@@ -79,14 +79,17 @@ func linear(t *testing.T, code core.Code) {
 }
 
 func zero(t *testing.T, code core.Code) {
-	s := core.NewStripe(code.K(), code.W(), 16)
-	rand.New(rand.NewSource(4)).Read(s.Strips[code.K()]) // pre-existing garbage
-	rand.New(rand.NewSource(5)).Read(s.Strips[code.K()+1])
+	s := core.NewStripeFor(code, 16)
+	for i := 0; i < code.M(); i++ { // pre-existing garbage in every parity
+		rand.New(rand.NewSource(4 + int64(i))).Read(s.Strips[code.K()+i])
+	}
 	if err := code.Encode(s, nil); err != nil {
 		t.Fatal(err)
 	}
-	if !xorblk.IsZero(s.Strips[code.K()]) || !xorblk.IsZero(s.Strips[code.K()+1]) {
-		t.Error("zero data produced nonzero parity")
+	for i := 0; i < code.M(); i++ {
+		if !xorblk.IsZero(s.Strips[code.K()+i]) {
+			t.Errorf("zero data produced nonzero parity strip %d", code.K()+i)
+		}
 	}
 }
 
@@ -95,16 +98,11 @@ func erasures(t *testing.T, code core.Code) {
 	if err := code.Encode(orig, nil); err != nil {
 		t.Fatal(err)
 	}
-	patterns := core.ErasurePairs(code.K() + 2)
-	for e := 0; e < code.K()+2; e++ {
-		patterns = append(patterns, [2]int{e, e})
-	}
-	for _, pat := range patterns {
+	// Every erasure pattern of size 1..M — the complete set a code with M
+	// parities must survive (singles and pairs for RAID-6, plus every
+	// triple for an m=3 family, and so on).
+	for _, erased := range core.ErasureSubsets(code.K()+code.M(), code.M()) {
 		s := orig.Clone()
-		erased := []int{pat[0], pat[1]}
-		if pat[0] == pat[1] {
-			erased = erased[:1]
-		}
 		for _, e := range erased {
 			s.ZeroStrip(e)
 		}
@@ -124,9 +122,14 @@ func garbage(t *testing.T, code core.Code) {
 		t.Fatal(err)
 	}
 	s := orig.Clone()
-	rand.New(rand.NewSource(8)).Read(s.Strips[0])
-	rand.New(rand.NewSource(9)).Read(s.Strips[code.K()+1])
-	if err := code.Decode(s, []int{0, code.K() + 1}, nil); err != nil {
+	erased := []int{0}
+	if code.M() >= 2 { // a data strip plus the last parity, budget permitting
+		erased = append(erased, code.K()+code.M()-1)
+	}
+	for i, e := range erased {
+		rand.New(rand.NewSource(8 + int64(i))).Read(s.Strips[e])
+	}
+	if err := code.Decode(s, erased, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !s.Equal(orig) {
@@ -136,13 +139,17 @@ func garbage(t *testing.T, code core.Code) {
 
 func overload(t *testing.T, code core.Code) {
 	s := freshStripe(code, 10)
-	if err := code.Decode(s, []int{0, 1, 2}, nil); err == nil {
-		t.Error("three erasures accepted")
+	tooMany := make([]int, code.M()+1)
+	for i := range tooMany {
+		tooMany[i] = i
+	}
+	if err := code.Decode(s, tooMany, nil); err == nil {
+		t.Errorf("%d erasures accepted (code tolerates %d)", len(tooMany), code.M())
 	}
 	if err := code.Decode(s, []int{-1}, nil); err == nil {
 		t.Error("negative strip index accepted")
 	}
-	if err := code.Decode(s, []int{code.K() + 2}, nil); err == nil {
+	if err := code.Decode(s, []int{code.K() + code.M()}, nil); err == nil {
 		t.Error("out-of-range strip index accepted")
 	}
 }

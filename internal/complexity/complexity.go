@@ -117,7 +117,7 @@ func build(series string, k, fixedP int) (codeUnderTest, bool) {
 
 // EncodeXORs counts the element XORs of one stripe encoding.
 func EncodeXORs(cut codeUnderTest) int {
-	s := core.NewStripe(cut.code.K(), cut.w, 8)
+	s := core.NewStripeFor(cut.code, 8)
 	var ops core.Ops
 	if err := cut.code.Encode(s, &ops); err != nil {
 		panic(err)
@@ -126,16 +126,16 @@ func EncodeXORs(cut codeUnderTest) int {
 }
 
 // DecodeXORsAvg counts the element XORs of decoding, averaged over all the
-// possible erasure patterns (every pair of the k+2 strips), exactly as the
-// paper's Section IV-A describes.
+// possible erasure patterns (every pair of the k+m strips; m = 2 for the
+// paper's codes), exactly as the paper's Section IV-A describes.
 func DecodeXORsAvg(cut codeUnderTest) float64 {
 	k := cut.code.K()
-	s := core.NewStripe(k, cut.w, 8)
+	s := core.NewStripeFor(cut.code, 8)
 	if err := cut.code.Encode(s, nil); err != nil {
 		panic(err)
 	}
 	total, cnt := 0, 0
-	for _, pat := range core.ErasurePairs(k + 2) {
+	for _, pat := range core.ErasurePairs(k + cut.code.M()) {
 		// Schedule-based codes expose exact costs without element work.
 		if bc, ok := cut.code.(*bitmatrix.Code); ok {
 			sch, err := bc.DecodeSchedule(pat[:])
@@ -183,7 +183,7 @@ func EncodingFigure(ks []int, fixedP int) Figure {
 			}
 			xors := EncodeXORs(cut)
 			series.Points = append(series.Points,
-				Point{K: k, Value: normalize(float64(xors), 2*cut.w, k)})
+				Point{K: k, Value: normalize(float64(xors), cut.code.M()*cut.w, k)})
 		}
 		fig.Series = append(fig.Series, series)
 	}
@@ -209,7 +209,7 @@ func DecodingFigure(ks []int, fixedP int) Figure {
 			}
 			avg := DecodeXORsAvg(cut)
 			series.Points = append(series.Points,
-				Point{K: k, Value: normalize(avg, 2*cut.w, k)})
+				Point{K: k, Value: normalize(avg, cut.code.M()*cut.w, k)})
 		}
 		fig.Series = append(fig.Series, series)
 	}

@@ -53,11 +53,21 @@ func TestStripeLayout(t *testing.T) {
 	if s.Strips[2][3*8] != 0xab {
 		t.Error("Elem does not alias strip storage")
 	}
-	if err := s.CheckShape(3, 5); err != nil {
+	if err := s.CheckShape(3, 2, 5); err != nil {
 		t.Error(err)
 	}
-	if err := s.CheckShape(4, 5); err == nil {
+	if err := s.CheckShape(4, 2, 5); err == nil {
 		t.Error("CheckShape accepted wrong k")
+	}
+	if err := s.CheckShape(3, 3, 5); err == nil {
+		t.Error("CheckShape accepted wrong m")
+	}
+	m3 := NewStripeM(3, 3, 5, 8)
+	if m3.M() != 3 || m3.NumStrips() != 6 {
+		t.Fatalf("NewStripeM shape: m=%d strips=%d", m3.M(), m3.NumStrips())
+	}
+	if err := m3.CheckShape(3, 3, 5); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -5,18 +5,19 @@ import "sync"
 // StripePool recycles Stripes of one fixed shape through a sync.Pool so
 // steady-state streaming workloads (the shard pipeline, SplitBuffer-fed
 // bulk encodes) allocate nothing per stripe. Get returns a fully zeroed
-// stripe, so pooled stripes are interchangeable with NewStripe ones —
+// stripe, so pooled stripes are interchangeable with NewStripeM ones —
 // in particular the zero-padding of partially filled data strips keeps
 // working without every caller remembering to clear reused memory.
 type StripePool struct {
-	k, w, elemSize int
-	pool           sync.Pool
+	k, m, w, elemSize int
+	pool              sync.Pool
 }
 
-// NewStripePool returns a pool producing stripes of the given shape.
-func NewStripePool(k, w, elemSize int) *StripePool {
-	p := &StripePool{k: k, w: w, elemSize: elemSize}
-	p.pool.New = func() any { return NewStripe(k, w, elemSize) }
+// NewStripePool returns a pool producing stripes of the given shape
+// (k data strips, m parity strips).
+func NewStripePool(k, m, w, elemSize int) *StripePool {
+	p := &StripePool{k: k, m: m, w: w, elemSize: elemSize}
+	p.pool.New = func() any { return NewStripeM(k, m, w, elemSize) }
 	return p
 }
 
@@ -35,7 +36,7 @@ func (p *StripePool) Get() *Stripe {
 // dropped rather than poisoning the pool; nil is ignored. The caller
 // must not retain any reference to s (or its strips) after Put.
 func (p *StripePool) Put(s *Stripe) {
-	if s == nil || s.K != p.k || s.W != p.w || s.ElemSize != p.elemSize {
+	if s == nil || s.K != p.k || s.M() != p.m || s.W != p.w || s.ElemSize != p.elemSize {
 		return
 	}
 	p.pool.Put(s)
@@ -46,14 +47,14 @@ func (p *StripePool) Put(s *Stripe) {
 // stripes.
 var sharedPools sync.Map // stripeShape -> *StripePool
 
-type stripeShape struct{ k, w, elemSize int }
+type stripeShape struct{ k, m, w, elemSize int }
 
 // SharedStripePool returns the process-wide pool for the given shape.
-func SharedStripePool(k, w, elemSize int) *StripePool {
-	key := stripeShape{k, w, elemSize}
+func SharedStripePool(k, m, w, elemSize int) *StripePool {
+	key := stripeShape{k, m, w, elemSize}
 	if p, ok := sharedPools.Load(key); ok {
 		return p.(*StripePool)
 	}
-	p, _ := sharedPools.LoadOrStore(key, NewStripePool(k, w, elemSize))
+	p, _ := sharedPools.LoadOrStore(key, NewStripePool(k, m, w, elemSize))
 	return p.(*StripePool)
 }

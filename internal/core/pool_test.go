@@ -6,9 +6,9 @@ import (
 )
 
 func TestStripePoolZeroesReusedStripes(t *testing.T) {
-	p := NewStripePool(3, 5, 16)
+	p := NewStripePool(3, 2, 5, 16)
 	s := p.Get()
-	if err := s.CheckShape(3, 5); err != nil {
+	if err := s.CheckShape(3, 2, 5); err != nil {
 		t.Fatalf("pooled stripe shape: %v", err)
 	}
 	s.FillRandom(rand.New(rand.NewSource(1)))
@@ -25,8 +25,9 @@ func TestStripePoolZeroesReusedStripes(t *testing.T) {
 }
 
 func TestStripePoolRejectsWrongShape(t *testing.T) {
-	p := NewStripePool(3, 5, 16)
-	p.Put(NewStripe(4, 5, 16)) // wrong k: must be dropped, not recycled
+	p := NewStripePool(3, 2, 5, 16)
+	p.Put(NewStripe(4, 5, 16))     // wrong k: must be dropped, not recycled
+	p.Put(NewStripeM(3, 3, 5, 16)) // wrong m: likewise dropped
 	p.Put(nil)
 	s := p.Get()
 	if s.K != 3 || s.W != 5 || s.ElemSize != 16 {
@@ -35,13 +36,14 @@ func TestStripePoolRejectsWrongShape(t *testing.T) {
 }
 
 func TestSharedStripePoolPerShape(t *testing.T) {
-	a := SharedStripePool(4, 5, 32)
-	b := SharedStripePool(4, 5, 32)
-	c := SharedStripePool(4, 7, 32)
+	a := SharedStripePool(4, 2, 5, 32)
+	b := SharedStripePool(4, 2, 5, 32)
+	c := SharedStripePool(4, 2, 7, 32)
+	d := SharedStripePool(4, 3, 5, 32)
 	if a != b {
 		t.Error("same shape returned distinct shared pools")
 	}
-	if a == c {
+	if a == c || a == d {
 		t.Error("different shapes share one pool")
 	}
 	s := a.Get()

@@ -19,7 +19,7 @@ func (c *Code) Decode(s *core.Stripe, erased []int, ops *core.Ops) error {
 }
 
 func (c *Code) decode(s *core.Stripe, erased []int, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, c.p-1); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p-1); err != nil {
 		return err
 	}
 	switch len(erased) {

@@ -1,0 +1,115 @@
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned by InvertMatrix for a non-invertible input.
+var ErrSingular = errors.New("gf: matrix is singular")
+
+// MulMatrix returns the matrix product a*b over GF(2^8). a is r×n, b is
+// n×c; the result is r×c. It panics on mismatched inner dimensions.
+func MulMatrix(a, b [][]byte) [][]byte {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n, c := len(b), len(b[0])
+	out := make([][]byte, len(a))
+	for i, row := range a {
+		if len(row) != n {
+			panic(fmt.Sprintf("gf: %d-wide row against %d-tall matrix", len(row), n))
+		}
+		out[i] = make([]byte, c)
+		for j := 0; j < c; j++ {
+			var acc byte
+			for t := 0; t < n; t++ {
+				acc ^= Mul(row[t], b[t][j])
+			}
+			out[i][j] = acc
+		}
+	}
+	return out
+}
+
+// InvertMatrix returns the inverse of the square matrix a over GF(2^8)
+// by Gauss-Jordan elimination with partial pivoting (any nonzero pivot
+// works in a field of characteristic 2). The input is not modified.
+func InvertMatrix(a [][]byte) ([][]byte, error) {
+	n := len(a)
+	// Augmented matrix [a | I], reduced in place.
+	work := make([][]byte, n)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("gf: inverting a %dx%d matrix", n, len(row))
+		}
+		work[i] = make([]byte, 2*n)
+		copy(work[i], row)
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if inv := Inv(work[col][col]); inv != 1 {
+			for j := col; j < 2*n; j++ {
+				work[col][j] = Mul(work[col][j], inv)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for j := col; j < 2*n; j++ {
+				work[r][j] ^= Mul(f, work[col][j])
+			}
+		}
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = work[i][n:]
+	}
+	return out, nil
+}
+
+// RSParityMatrix builds the m×k parity submatrix of a systematic MDS
+// generator for k data symbols and m parities over GF(2^8). The full
+// (k+m)×k generator starts as a Vandermonde matrix on the distinct
+// evaluation points 0..k+m-1 (every k×k row subset of which is
+// invertible); right-multiplying by the inverse of its top k×k block
+// turns the top into the identity without disturbing that property — the
+// standard systematic construction (Jerasure, klauspost/reedsolomon use
+// the same trick, because naively overwriting the top rows with I breaks
+// the MDS guarantee). The returned rows are the bottom m rows: parity i
+// is the data dotted with row i.
+func RSParityMatrix(k, m int) ([][]byte, error) {
+	n := k + m
+	if k < 1 || m < 1 || n > 256 {
+		return nil, fmt.Errorf("gf: need k >= 1, m >= 1, k+m <= 256, got k=%d m=%d", k, m)
+	}
+	// Vandermonde rows over points 0..n-1 with the 0^0 = 1 convention.
+	vand := make([][]byte, n)
+	for i := range vand {
+		vand[i] = make([]byte, k)
+		acc := byte(1)
+		for j := 0; j < k; j++ {
+			vand[i][j] = acc
+			acc = Mul(acc, byte(i))
+		}
+	}
+	top, err := InvertMatrix(vand[:k])
+	if err != nil {
+		// Unreachable: the top block is Vandermonde on distinct points.
+		return nil, err
+	}
+	return MulMatrix(vand[k:], top), nil
+}

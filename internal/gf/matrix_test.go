@@ -1,0 +1,140 @@
+package gf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMulMatrixIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 5
+	a := make([][]byte, n)
+	id := make([][]byte, n)
+	for i := range a {
+		a[i] = make([]byte, n)
+		rng.Read(a[i])
+		id[i] = make([]byte, n)
+		id[i][i] = 1
+	}
+	got := MulMatrix(a, id)
+	for i := range a {
+		for j := range a[i] {
+			if got[i][j] != a[i][j] {
+				t.Fatalf("a*I differs from a at (%d,%d)", i, j)
+			}
+		}
+	}
+	if MulMatrix(nil, a) != nil || MulMatrix(a, nil) != nil {
+		t.Error("empty operand should give a nil product")
+	}
+}
+
+func TestInvertMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 8, 16} {
+		// Random matrices over GF(2^8) are overwhelmingly invertible;
+		// retry the rare singular draw.
+		var a, inv [][]byte
+		for {
+			a = make([][]byte, n)
+			for i := range a {
+				a[i] = make([]byte, n)
+				rng.Read(a[i])
+			}
+			var err error
+			if inv, err = InvertMatrix(a); err == nil {
+				break
+			}
+		}
+		prod := MulMatrix(a, inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if prod[i][j] != want {
+					t.Fatalf("n=%d: a*inv(a) not identity at (%d,%d): %d", n, i, j, prod[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestInvertMatrixSingular(t *testing.T) {
+	// Two identical rows: singular by construction.
+	a := [][]byte{{1, 2}, {1, 2}}
+	if _, err := InvertMatrix(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular matrix error = %v, want ErrSingular", err)
+	}
+	// The zero matrix too.
+	z := [][]byte{{0, 0}, {0, 0}}
+	if _, err := InvertMatrix(z); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero matrix error = %v, want ErrSingular", err)
+	}
+	// Ragged input is a shape error, not a panic.
+	if _, err := InvertMatrix([][]byte{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+// TestRSParityMatrixMDS checks the property the whole construction
+// exists for: with the systematic generator [I; P], EVERY square
+// submatrix formed by k of the k+m generator rows is invertible, so any
+// k surviving strips determine the data.
+func TestRSParityMatrixMDS(t *testing.T) {
+	for _, sh := range [][2]int{{2, 2}, {3, 3}, {4, 3}, {5, 4}, {6, 3}} {
+		k, m := sh[0], sh[1]
+		p, err := RSParityMatrix(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != m || len(p[0]) != k {
+			t.Fatalf("k=%d m=%d: parity matrix is %dx%d", k, m, len(p), len(p[0]))
+		}
+		n := k + m
+		// Enumerate all C(n, k) row subsets via a k-combination counter.
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			rows := make([][]byte, k)
+			for r, i := range idx {
+				if i < k {
+					rows[r] = make([]byte, k)
+					rows[r][i] = 1
+				} else {
+					rows[r] = p[i-k]
+				}
+			}
+			if _, err := InvertMatrix(rows); err != nil {
+				t.Fatalf("k=%d m=%d: row subset %v not invertible: %v", k, m, idx, err)
+			}
+			// Advance the combination.
+			i := k - 1
+			for i >= 0 && idx[i] == n-k+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < k; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+}
+
+func TestRSParityMatrixBounds(t *testing.T) {
+	for _, sh := range [][2]int{{0, 2}, {2, 0}, {255, 2}, {-1, 1}} {
+		if _, err := RSParityMatrix(sh[0], sh[1]); err == nil {
+			t.Errorf("RSParityMatrix(%d, %d) accepted", sh[0], sh[1])
+		}
+	}
+	if _, err := RSParityMatrix(253, 3); err != nil {
+		t.Errorf("RSParityMatrix(253, 3) at the field limit: %v", err)
+	}
+}

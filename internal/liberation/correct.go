@@ -124,7 +124,7 @@ func (c *Code) CorrectColumn(s *core.Stripe, ops *core.Ops) (int, error) {
 }
 
 func (c *Code) correctColumn(s *core.Stripe, ops *core.Ops) (int, error) {
-	if err := s.CheckShape(c.k, c.p); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p); err != nil {
 		return 0, err
 	}
 	p, k := c.p, c.k

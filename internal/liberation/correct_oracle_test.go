@@ -14,7 +14,7 @@ import (
 // parities. Slow and allocation-heavy, but independently derived from the
 // defining equations via encodeFull.
 func (c *Code) correctColumnOracle(s *core.Stripe, ops *core.Ops) (int, error) {
-	if err := s.CheckShape(c.k, c.p); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p); err != nil {
 		return 0, err
 	}
 	p, k := c.p, c.k

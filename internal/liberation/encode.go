@@ -44,7 +44,7 @@ func (c *Code) Encode(s *core.Stripe, ops *core.Ops) error {
 // callers (decode's re-encoding cases, the scrubber) use it so nested
 // work is attributed to the operation the caller is recording.
 func (c *Code) encodeFull(s *core.Stripe, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, c.p); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p); err != nil {
 		return err
 	}
 	c.plans.encOnce.Do(func() {

@@ -75,6 +75,9 @@ func NewAuto(k int) (*Code, error) {
 func (c *Code) Name() string { return fmt.Sprintf("liberation(k=%d,p=%d)", c.k, c.p) }
 func (c *Code) K() int       { return c.k }
 
+// M returns 2: Liberation is a RAID-6 (two-parity) code.
+func (c *Code) M() int { return 2 }
+
 // P returns the prime parameter.
 func (c *Code) P() int { return c.p }
 
@@ -137,7 +140,7 @@ func (c *Code) isBitB(row, col int) bool {
 // without common-expression reuse. It is deliberately simple and serves as
 // the correctness oracle for every other implementation.
 func (c *Code) EncodeNaive(s *core.Stripe, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, c.p); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p); err != nil {
 		return err
 	}
 	p, k := c.p, c.k

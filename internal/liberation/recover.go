@@ -12,7 +12,7 @@ import (
 // the fast path a real array uses to serve one degraded sector. It does
 // not modify the stripe. Cost: k-1 XORs.
 func (c *Code) RecoverElement(dst []byte, s *core.Stripe, col, row int, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, c.p); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p); err != nil {
 		return err
 	}
 	if col < 0 || col >= c.k || row < 0 || row >= c.p {

@@ -31,7 +31,7 @@ func (c *Code) Update(s *core.Stripe, col, row int, oldElem []byte, ops *core.Op
 }
 
 func (c *Code) update(s *core.Stripe, col, row int, oldElem []byte, ops *core.Ops) (int, error) {
-	if err := s.CheckShape(c.k, c.p); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p); err != nil {
 		return 0, err
 	}
 	if col < 0 || col >= c.k || row < 0 || row >= c.p {

@@ -299,7 +299,7 @@ func runPool(name string, n int, cfg Config, ops *core.Ops,
 // garbage.
 func SplitBuffer(code core.Code, elemSize int, data []byte) []*core.Stripe {
 	k, w := code.K(), code.W()
-	pool := core.SharedStripePool(k, w, elemSize)
+	pool := core.SharedStripePool(k, code.M(), w, elemSize)
 	perStripe := k * w * elemSize
 	n := (len(data) + perStripe - 1) / perStripe
 	if n == 0 {
@@ -326,7 +326,7 @@ func SplitBuffer(code core.Code, elemSize int, data []byte) []*core.Stripe {
 func ReleaseStripes(stripes []*core.Stripe) {
 	for _, s := range stripes {
 		if s != nil {
-			core.SharedStripePool(s.K, s.W, s.ElemSize).Put(s)
+			core.SharedStripePool(s.K, s.M(), s.W, s.ElemSize).Put(s)
 		}
 	}
 }

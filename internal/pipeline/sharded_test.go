@@ -25,7 +25,7 @@ func TestEncodeShardedMatchesPlain(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, elem := range []int{1024, 8192, 12352} { // below, at, and past the shard threshold
-			want := core.NewStripe(code.K(), code.W(), elem)
+			want := core.NewStripeFor(code, elem)
 			want.FillRandom(rng)
 			got := want.Clone()
 			if err := code.Encode(want, nil); err != nil {

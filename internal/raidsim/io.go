@@ -13,7 +13,7 @@ func (a *Array) Read(off int, p []byte) error {
 	if off < 0 || off+len(p) > a.Capacity() {
 		return ErrOutOfRange
 	}
-	if a.numFailed() > 2 {
+	if a.numFailed() > a.m {
 		return ErrTooManyFailures
 	}
 	sp, total := a.span("raid.read"), len(p)
@@ -44,7 +44,7 @@ func (a *Array) stripData(stripe int) []byte {
 	// Degraded: reconstruct into a scratch stripe.
 	a.Stats.DegradedReads++
 	a.count("raid.degraded_reads", 1)
-	scratch := core.NewStripe(a.k, a.w, a.elemSize)
+	scratch := core.NewStripeM(a.k, a.m, a.w, a.elemSize)
 	for t := 0; t < a.n; t++ {
 		copy(scratch.Strips[t], a.strip(stripe, t))
 	}
@@ -136,8 +136,8 @@ func (a *Array) writePartial(stripe, stripeOff int, data []byte) error {
 			}
 			a.Stats.StripeEncodes++
 			a.count("raid.stripe_encodes", 1)
-			a.Stats.ParityElemWrites += uint64(2 * a.w)
-			a.count("raid.parity_elem_writes", uint64(2*a.w))
+			a.Stats.ParityElemWrites += uint64(a.m * a.w)
+			a.count("raid.parity_elem_writes", uint64(a.m*a.w))
 		}
 		data = data[n:]
 		stripeOff += n
@@ -158,7 +158,7 @@ func (a *Array) writeDegraded(off int, p []byte) error {
 			n = len(p)
 		}
 		erased := a.failedStrips(stripe)
-		scratch := core.NewStripe(a.k, a.w, a.elemSize)
+		scratch := core.NewStripeM(a.k, a.m, a.w, a.elemSize)
 		for t := 0; t < a.n; t++ {
 			copy(scratch.Strips[t], a.strip(stripe, t))
 		}

@@ -2,11 +2,12 @@ package raidsim
 
 import "fmt"
 
-// Layout maps a stripe's logical strips (0..K-1 data, K = P, K+1 = Q)
-// onto physical disks. Rotating layouts spread parity traffic — and the
-// small-write parity updates the Liberation codes minimize — across all
-// spindles; the dedicated layout (RAID-4 style) concentrates it on two
-// disks, which is simpler but turns them into hot spots.
+// Layout maps a stripe's logical strips (0..K-1 data, then the M parity
+// strips: K = P, K+1 = Q for the RAID-6 codes) onto physical disks.
+// Rotating layouts spread parity traffic — and the small-write parity
+// updates the Liberation codes minimize — across all spindles; the
+// dedicated layout (RAID-4 style) concentrates it on the last M disks,
+// which is simpler but turns them into hot spots.
 type Layout int
 
 const (
@@ -15,7 +16,8 @@ const (
 	LeftSymmetric Layout = iota
 	// RightAsymmetric rotates parity right while keeping data order.
 	RightAsymmetric
-	// DedicatedParity pins P and Q to the last two disks (RAID-4 style).
+	// DedicatedParity pins the parity strips to the last M disks
+	// (RAID-4 style).
 	DedicatedParity
 )
 
@@ -61,12 +63,13 @@ func (a *Array) SetLayout(l Layout) error {
 func (a *Array) Layout() Layout { return a.layout }
 
 // ParityDistribution returns, per disk, how many stripes place a parity
-// strip (P or Q) on that disk — the hot-spot profile of the layout.
+// strip on that disk — the hot-spot profile of the layout.
 func (a *Array) ParityDistribution() []int {
 	out := make([]int, a.n)
 	for stripe := 0; stripe < a.stripes; stripe++ {
-		out[a.diskFor(stripe, a.k)]++
-		out[a.diskFor(stripe, a.k+1)]++
+		for t := a.k; t < a.n; t++ {
+			out[a.diskFor(stripe, t)]++
+		}
 	}
 	return out
 }

@@ -1,15 +1,17 @@
-// Package raidsim is an in-memory RAID-6 disk-array simulator built on the
+// Package raidsim is an in-memory disk-array simulator built on the
 // erasure codes in this repository. It provides the system-level behaviors
 // the paper's motivation appeals to: striped reads and writes with
 // rotating parity placement, small writes with incremental parity updates
 // (where the Liberation codes' update-optimality shows up as bytes not
-// written), degraded reads under one or two disk failures, full rebuilds,
-// and scrubbing that detects and repairs silent single-strip corruption.
+// written), degraded reads under up to m disk failures (m being the
+// code's parity count — two for the RAID-6 families, three for the
+// triple-parity RS family), full rebuilds, and scrubbing that detects
+// and repairs silent single-strip corruption.
 //
 // Disks are byte buffers; an element is the unit of disk access (a sector
 // or an SSD page), a strip is W elements, and each stripe holds K data
-// strips plus P and Q, placed with left-symmetric rotation so parity
-// traffic spreads across all spindles.
+// strips plus the code's m parity strips, placed with left-symmetric
+// rotation so parity traffic spreads across all spindles.
 package raidsim
 
 import (
@@ -22,7 +24,7 @@ import (
 
 // Errors returned by the array.
 var (
-	ErrTooManyFailures = errors.New("raidsim: more than two disks failed")
+	ErrTooManyFailures = errors.New("raidsim: more disks failed than the code tolerates")
 	ErrOutOfRange      = errors.New("raidsim: I/O beyond array capacity")
 	ErrDiskState       = errors.New("raidsim: invalid disk state for operation")
 )
@@ -38,13 +40,13 @@ type Stats struct {
 	Ops              core.Ops // XOR/copy counts across all operations
 }
 
-// Array is a simulated RAID-6 disk array.
+// Array is a simulated disk array.
 type Array struct {
 	code      core.Code
 	updater   core.Updater         // non-nil when the code supports small writes
 	corrector core.ColumnCorrector // non-nil when scrubbing can localize errors
-	k, w      int
-	n         int // k + 2 disks
+	k, m, w   int
+	n         int // k + m disks
 	elemSize  int
 	stripes   int
 
@@ -66,8 +68,9 @@ func New(code core.Code, elemSize, stripes int) (*Array, error) {
 	a := &Array{
 		code:     code,
 		k:        code.K(),
+		m:        code.M(),
 		w:        code.W(),
-		n:        code.K() + 2,
+		n:        code.K() + code.M(),
 		elemSize: elemSize,
 		stripes:  stripes,
 	}
@@ -85,14 +88,15 @@ func New(code core.Code, elemSize, stripes int) (*Array, error) {
 // Capacity returns the usable data bytes of the array.
 func (a *Array) Capacity() int { return a.stripes * a.k * a.w * a.elemSize }
 
-// NumDisks returns K+2.
+// NumDisks returns K+M.
 func (a *Array) NumDisks() int { return a.n }
 
 // ElemSize returns the element size in bytes.
 func (a *Array) ElemSize() int { return a.elemSize }
 
-// diskFor returns the disk holding logical strip (0..K+1 with K = P,
-// K+1 = Q) of the given stripe under the configured layout.
+// diskFor returns the disk holding logical strip (0..K+M-1, the parity
+// strips last: K = P, K+1 = Q for the RAID-6 codes) of the given stripe
+// under the configured layout.
 func (a *Array) diskFor(stripe, strip int) int {
 	return a.layout.place(stripe, strip, a.n)
 }
@@ -150,8 +154,8 @@ func (a *Array) locate(off int) (stripe, strip, row, inElem int) {
 	return
 }
 
-// FailDisk marks a disk as failed and destroys its contents. At most two
-// disks may be failed at a time.
+// FailDisk marks a disk as failed and destroys its contents. At most m
+// disks (the code's parity count) may be failed at a time.
 func (a *Array) FailDisk(d int) error {
 	if d < 0 || d >= a.n {
 		return fmt.Errorf("%w: disk %d", core.ErrParams, d)
@@ -159,7 +163,7 @@ func (a *Array) FailDisk(d int) error {
 	if a.failed[d] {
 		return nil
 	}
-	if a.numFailed() >= 2 {
+	if a.numFailed() >= a.m {
 		return ErrTooManyFailures
 	}
 	a.failed[d] = true

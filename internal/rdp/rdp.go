@@ -53,6 +53,9 @@ func NewAuto(k int) (*Code, error) {
 func (c *Code) Name() string { return fmt.Sprintf("rdp(k=%d,p=%d)", c.k, c.p) }
 func (c *Code) K() int       { return c.k }
 
+// M returns 2: RDP is a RAID-6 (two-parity) code.
+func (c *Code) M() int { return 2 }
+
 // P returns the prime parameter.
 func (c *Code) P() int { return c.p }
 
@@ -86,7 +89,7 @@ func (c *Code) Encode(s *core.Stripe, ops *core.Ops) error {
 }
 
 func (c *Code) encode(s *core.Stripe, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, c.p-1); err != nil {
+	if err := s.CheckShape(c.k, 2, c.p-1); err != nil {
 		return err
 	}
 	if err := c.encodeP(s, ops); err != nil {

@@ -78,6 +78,30 @@ func TestRAID6BeatsRAID5(t *testing.T) {
 	}
 }
 
+// TestTripleParityBeatsDouble extends the redundancy ladder one rung:
+// with the rs3 family's three-parity budget, the mission loss
+// probability drops again relative to RAID-6 under identical disks.
+func TestTripleParityBeatsDouble(t *testing.T) {
+	p2 := baseParams()
+	p2.Redundancy = 2
+	r2, err := Simulate(p2, 4000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := baseParams()
+	p3.Redundancy = 3
+	r3, err := Simulate(p3, 4000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Losses > r2.Losses {
+		t.Errorf("triple parity lost more missions than double: %d vs %d", r3.Losses, r2.Losses)
+	}
+	if r2.Losses > 0 && r3.Losses >= r2.Losses {
+		t.Errorf("triple parity no safer than double: %d vs %d losses", r3.Losses, r2.Losses)
+	}
+}
+
 func TestMonotonicInURE(t *testing.T) {
 	p := baseParams()
 	p.Redundancy = 1

@@ -36,6 +36,10 @@ func New(k int) (*Code, error) {
 func (c *Code) Name() string { return fmt.Sprintf("rs(k=%d)", c.k) }
 func (c *Code) K() int       { return c.k }
 
+// M returns 2: the classic P+Q code has two parities (see NewM for the
+// generalized multi-parity construction).
+func (c *Code) M() int { return 2 }
+
 // W returns 1: RS strips are single elements.
 func (c *Code) W() int { return 1 }
 
@@ -48,7 +52,7 @@ func (c *Code) Encode(s *core.Stripe, ops *core.Ops) error {
 }
 
 func (c *Code) encode(s *core.Stripe, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, 1); err != nil {
+	if err := s.CheckShape(c.k, 2, 1); err != nil {
 		return err
 	}
 	k := c.k
@@ -73,7 +77,7 @@ func (c *Code) Decode(s *core.Stripe, erased []int, ops *core.Ops) error {
 }
 
 func (c *Code) decode(s *core.Stripe, erased []int, ops *core.Ops) error {
-	if err := s.CheckShape(c.k, 1); err != nil {
+	if err := s.CheckShape(c.k, 2, 1); err != nil {
 		return err
 	}
 	k := c.k

@@ -41,9 +41,10 @@ type Report struct {
 // the manifest at manifestPath (shards are looked up in the same
 // directory) and writes it to w. Missing or checksum-corrupt shards are
 // treated per the degradation ladder (quarantine → CorrectColumn →
-// erasure decode); up to two hard losses are tolerated, and purely
-// silent per-stripe single-column corruption is healed even beyond
-// that. It returns the per-shard status that recovery observed.
+// erasure decode); up to m hard losses are tolerated (m being the
+// code's parity count), and purely silent per-stripe single-column
+// corruption is healed even beyond that. It returns the per-shard
+// status that recovery observed.
 func Decode(manifestPath string, w io.Writer) ([]ShardStatus, error) {
 	return DecodeOpts(manifestPath, w, Options{})
 }
@@ -73,10 +74,10 @@ func DecodeOpts(manifestPath string, w io.Writer, opt Options) ([]ShardStatus, e
 // rung of the degradation ladder:
 //
 //   - no hard losses, but quarantined shards (or Options.Heal): stream
-//     all k+2 columns and run the paper's single-column error correction
+//     all k+m columns and run the paper's single-column error correction
 //     per stripe, falling back to erasure-decoding the quarantined
 //     columns for stripes whose corruption is not single-column;
-//   - 1–2 unusable shards: classic erasure decode of the survivors;
+//   - 1..m unusable shards: classic erasure decode of the survivors;
 //   - more: a typed *UnrecoverableError naming every failed shard.
 //
 // While stripes stream, transient read errors are retried with capped
@@ -194,8 +195,8 @@ func newRecovery(m *Manifest, code core.Code, opt Options, st store.Store,
 }
 
 // maxAttempts bounds the restart loop defensively; the quarantine budget
-// (at most two hard erasures) terminates it much earlier in practice.
-const maxAttempts = 1 + 4
+// (at most m hard erasures) terminates it much earlier in practice.
+func (r *recovery) maxAttempts() int { return r.m.M + 3 }
 
 // run executes probe → ladder → stream attempts until one succeeds, the
 // quarantine budget is exhausted, or the error is not a mid-stream
@@ -228,7 +229,7 @@ func (r *recovery) run(sink recoverSink) error {
 		}
 		var q *quarantineError
 		if !errors.As(err, &q) {
-			if nodeFault(err) && sink.canRestart() && r.rep.Attempts < maxAttempts {
+			if nodeFault(err) && sink.canRestart() && r.rep.Attempts < r.maxAttempts() {
 				// A node went dark under the sink mid-stream: the temp a
 				// shard was streaming into is unreachable. Restart the
 				// attempt — begin recreates the temps and a placement-
@@ -241,7 +242,7 @@ func (r *recovery) run(sink recoverSink) error {
 			}
 			return err
 		}
-		if r.rep.Attempts >= maxAttempts {
+		if r.rep.Attempts >= r.maxAttempts() {
 			return &UnrecoverableError{Status: r.rep.Status,
 				Reason: fmt.Sprintf("gave up after %d attempts: %v", r.rep.Attempts, q)}
 		}
@@ -284,15 +285,15 @@ func (r *recovery) noteQuarantines(ctx context.Context, status []ShardStatus) {
 // pass, recording which rung was chosen as a shard.rung event in the
 // attempt's trace.
 func (r *recovery) attempt(ctx context.Context, files []store.File, status []ShardStatus, hard, soft []int, sink recoverSink) error {
-	if len(hard) > 2 {
+	if len(hard) > r.m.M {
 		return &UnrecoverableError{Status: status,
-			Reason: fmt.Sprintf("%d shards beyond repair, can tolerate 2", len(hard))}
+			Reason: fmt.Sprintf("%d shards beyond repair, can tolerate %d", len(hard), r.m.M)}
 	}
 	if len(hard) == 0 && (len(soft) > 0 || r.opt.Heal) {
 		// Correction-first — except that a sink that cannot rewind (a
 		// plain io.Writer) must not gamble on a rung that may need a
 		// quarantine restart when the plain erasure rung would do.
-		if r.opt.Heal || len(soft) > 2 || sink.canRestart() {
+		if r.opt.Heal || len(soft) > r.m.M || sink.canRestart() {
 			if r.corrector == nil {
 				// The code cannot localize silent corruption: record why
 				// the heal rung was skipped and drop to erasure decode.
@@ -313,9 +314,9 @@ func (r *recovery) attempt(ctx context.Context, files []store.File, status []Sha
 	erased = append(erased, hard...)
 	erased = append(erased, soft...)
 	sort.Ints(erased)
-	if len(erased) > 2 {
+	if len(erased) > r.m.M {
 		return &UnrecoverableError{Status: status,
-			Reason: fmt.Sprintf("%d shards unusable, can tolerate 2", len(erased))}
+			Reason: fmt.Sprintf("%d shards unusable, can tolerate %d", len(erased), r.m.M)}
 	}
 	obs.Emit(ctx, slog.LevelInfo, "shard.rung",
 		slog.String("rung", "erasure"), slog.Int("erased", len(erased)))
@@ -336,7 +337,7 @@ func (r *recovery) erasureStream(ctx context.Context, files []store.File, erased
 		skip[e] = true
 	}
 	readers := newShardReaders(m, files, skip)
-	rolling := make([]uint32, m.K+2)
+	rolling := make([]uint32, m.NumShards())
 	stripes := streamBatch(r.opt, m, r.code)
 	defer releaseStripes(stripes)
 
@@ -383,7 +384,7 @@ func (r *recovery) erasureStream(ctx context.Context, files []store.File, erased
 	return sink.finish()
 }
 
-// correctionStream is the silent-corruption rung: all k+2 columns stream
+// correctionStream is the silent-corruption rung: all k+m columns stream
 // (including soft-quarantined ones) and every stripe is checked — and
 // healed — with the paper's single-column error correction. Stripes
 // whose corruption is not confined to one column fall back to erasure-
@@ -395,7 +396,7 @@ func (r *recovery) correctionStream(ctx context.Context, files []store.File, sof
 	}
 	m := r.m
 	readers := newShardReaders(m, files, nil)
-	rolling := make([]uint32, m.K+2)
+	rolling := make([]uint32, m.NumShards())
 	stripes := streamBatch(r.opt, m, r.code)
 	defer releaseStripes(stripes)
 
@@ -422,7 +423,7 @@ func (r *recovery) correctionStream(ctx context.Context, files []store.File, sof
 				obs.EmitErr(ctx, slog.LevelWarn, "shard.correct_column.fallback", cerr,
 					slog.Int("stripe", done+j), slog.Int("suspects", len(soft)))
 				switch {
-				case len(soft) >= 1 && len(soft) <= 2:
+				case len(soft) >= 1 && len(soft) <= r.m.M:
 					// Not single-column, but we know which columns are
 					// suspect: erasure-decode them for this stripe.
 					if derr := r.code.Decode(stripes[j], soft, nil); derr != nil {
@@ -438,7 +439,7 @@ func (r *recovery) correctionStream(ctx context.Context, files []store.File, sof
 						done+j, len(soft))}
 				}
 			}
-			for i := 0; i < m.K+2; i++ {
+			for i := 0; i < m.NumShards(); i++ {
 				rolling[i] = crc32.Update(rolling[i], crc32.IEEETable, stripes[j].Strips[i])
 			}
 		}
@@ -643,7 +644,7 @@ func streamBatch(opt Options, m *Manifest, code interface{ W() int }) []*core.St
 	if n < 1 {
 		n = 1
 	}
-	pool := core.SharedStripePool(m.K, code.W(), m.ElemSize)
+	pool := core.SharedStripePool(m.K, m.M, code.W(), m.ElemSize)
 	stripes := make([]*core.Stripe, n)
 	for i := range stripes {
 		stripes[i] = pool.Get()
@@ -655,7 +656,7 @@ func streamBatch(opt Options, m *Manifest, code interface{ W() int }) []*core.St
 func releaseStripes(stripes []*core.Stripe) {
 	for _, s := range stripes {
 		if s != nil {
-			core.SharedStripePool(s.K, s.W, s.ElemSize).Put(s)
+			core.SharedStripePool(s.K, s.M(), s.W, s.ElemSize).Put(s)
 		}
 	}
 }

@@ -17,9 +17,10 @@ import (
 	"repro/internal/store"
 )
 
-// Encode splits the contents of r (size bytes) into k+2 shards written to
-// outDir, returning the manifest (also written to outDir). p = 0 selects
-// the smallest usable prime automatically.
+// Encode splits the contents of r (size bytes) into k+m shards written
+// to outDir (m being the code's parity count, 2 for the default
+// liberation code), returning the manifest (also written to outDir).
+// p = 0 selects the smallest usable prime automatically.
 func Encode(r io.Reader, size int64, fileName string, k, p, elemSize int, outDir string) (*Manifest, error) {
 	return EncodeOpts(r, size, fileName, k, p, elemSize, outDir, Options{})
 }
@@ -95,6 +96,7 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 		stampFlight(ctx, err)
 	}()
 	w := code.W()
+	parities := code.M()
 	perStripe := int64(k) * int64(w) * int64(elemSize)
 	stripes := int((size + perStripe - 1) / perStripe)
 	if stripes == 0 {
@@ -112,6 +114,7 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 		Code:     codeName,
 		K:        k,
 		P:        mp,
+		M:        parities,
 		W:        w,
 		ElemSize: elemSize,
 		FileName: filepath.Base(fileName),
@@ -124,8 +127,8 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 	// created so a failed encode leaves no partial shard set behind.
 	st := opt.store(ctx)
 	var created []string
-	files := make([]store.File, k+2)
-	writers := make([]*bufio.Writer, k+2)
+	files := make([]store.File, k+parities)
+	writers := make([]*bufio.Writer, k+parities)
 	defer func() {
 		if err == nil {
 			return
@@ -158,7 +161,7 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 	if batchN > stripes {
 		batchN = stripes
 	}
-	pool := core.SharedStripePool(k, w, elemSize)
+	pool := core.SharedStripePool(k, parities, w, elemSize)
 	all := make([]*encBatch, 0, ringBatches)
 	free := make(chan *encBatch, ringBatches)
 	filled := make(chan *encBatch, 1)
@@ -290,7 +293,7 @@ func EncodeOpts(r io.Reader, size int64, fileName string, k, p, elemSize int,
 
 	// Stage 3: writer (this goroutine). Drains batches in order, so
 	// shard bytes and checksums match the sequential path exactly.
-	sums := make([]uint32, k+2)
+	sums := make([]uint32, k+parities)
 writeLoop:
 	for {
 		t0 := now()
@@ -307,7 +310,7 @@ writeLoop:
 		since("shard.encode.write.wait.seconds", t0)
 		t1 := now()
 		for j := 0; j < b.n; j++ {
-			for i := 0; i < k+2; i++ {
+			for i := 0; i < k+parities; i++ {
 				strip := b.stripes[j].Strips[i]
 				if _, writeErr := writers[i].Write(strip); writeErr != nil {
 					fail(writeErr)
@@ -349,7 +352,7 @@ writeLoop:
 	// about which node outages this shard set survives.
 	if mapper, ok := opt.Store.(store.NodeMapper); ok {
 		pl := &Placement{Policy: mapper.PlacementPolicy(), Nodes: mapper.NodeCount(),
-			Shards: make([]int, k+2)}
+			Shards: make([]int, k+parities)}
 		for i := range pl.Shards {
 			pl.Shards[i] = mapper.NodeFor(filepath.Join(outDir, m.ShardName(i)))
 		}

@@ -101,7 +101,7 @@ func countUnusable(status []ShardStatus) int {
 }
 
 // DegradedError reports that a shard set has lost redundancy but remains
-// recoverable (at most two shards unusable). Verify returns it so
+// recoverable (at most m shards unusable). Verify returns it so
 // callers can distinguish "clean", "recoverable but degraded", and
 // "lost"; it carries the per-shard status so tests and operators can see
 // exactly which shards failed and why.

@@ -16,8 +16,9 @@ import (
 
 // TestCodeMatrixRoundTrip drives the full shard path for every
 // registered code over a spread of (k, p) shapes from the registry:
-// streaming encode, clean decode, degraded decode with two shards gone,
-// repair, then silent corruption — which engages the correction rung for
+// streaming encode, clean decode, degraded decode with as many shards
+// gone as the code has parities (two for the RAID-6 families, three for
+// rs3), repair, then silent corruption — which engages the correction rung for
 // core.ColumnCorrector codes and the skip-rung → erasure fallback for
 // the rest. Output must be byte-identical to the input at every step.
 func TestCodeMatrixRoundTrip(t *testing.T) {
@@ -53,15 +54,23 @@ func TestCodeMatrixRoundTrip(t *testing.T) {
 
 				decodeAndCompare(t, dir, m, content) // clean path
 
-				// Degraded: one data shard and Q gone — the hard erasure case.
-				for _, i := range []int{1, m.K + 1} {
+				// Degraded: the full parity budget gone at once — a data
+				// shard plus the last parity (the hard erasure case for the
+				// RAID-6 families), padded with more data shards up to M
+				// losses so an m=3 family proves its triple-fault claim on
+				// the real shard path.
+				lost := []int{1, m.NumShards() - 1}
+				for i := 2; len(lost) < m.M; i++ {
+					lost = append(lost, i)
+				}
+				for _, i := range lost {
 					if err := os.Remove(filepath.Join(dir, m.ShardName(i))); err != nil {
 						t.Fatal(err)
 					}
 				}
 				decodeAndCompare(t, dir, m, content)
-				if repaired, err := Repair(manifest); err != nil || len(repaired) != 2 {
-					t.Fatalf("Repair after double loss: %v, %v", repaired, err)
+				if repaired, err := Repair(manifest); err != nil || len(repaired) != m.M {
+					t.Fatalf("Repair after %d-shard loss: %v, %v", m.M, repaired, err)
 				}
 
 				// Silent corruption: flip a byte mid-shard. The probe

@@ -439,11 +439,12 @@ func TestMixedFaultLadderTrace(t *testing.T) {
 // TestChaosNodesSoak replays seeded node-level fault schedules — whole-
 // node outages (one and two at once), flapping membership, and hung-node
 // latency — over every registered code. Encode runs clean on spread
-// placement (nodes = k+2); decode and repair then run under the
+// placement (nodes = k+m); decode and repair then run under the
 // schedule. The invariant: byte-identical output or a typed error,
 // every run, every seed; and for outage-only schedules that spare the
 // manifest's node, decode and repair MUST succeed byte-identically (at
-// most two shards are lost — the RAID-6 contract at node granularity).
+// most two shards are lost, within every family's parity budget — the
+// erasure contract at node granularity).
 func TestChaosNodesSoak(t *testing.T) {
 	schedules := 120
 	if testing.Short() {
@@ -466,7 +467,7 @@ func TestChaosNodesSoak(t *testing.T) {
 		info := infos[i%len(infos)]
 		shape := info.TestShapes[(i/len(infos))%len(info.TestShapes)]
 		profile := profiles[i%len(profiles)]
-		nodes := shape.K + 2
+		nodes := shape.K + info.M
 		faults, err := nodestore.Profile(profile, seed, nodes)
 		if err != nil {
 			t.Fatal(err)
@@ -487,7 +488,8 @@ func TestChaosNodesSoak(t *testing.T) {
 		manifestPath := filepath.Join(dir, ManifestName(m.FileName))
 
 		// An outage-only schedule that spares the manifest's node loses
-		// at most two shards (spread placement, nodes = k+2): the strict
+		// at most two shards (spread placement, nodes = k+m, one shard
+		// per node): within every family's parity budget, so the strict
 		// byte-identical guarantee applies.
 		outageNodes := map[int]bool{}
 		for _, f := range faults {

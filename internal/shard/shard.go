@@ -1,14 +1,15 @@
-// Package shard applies the Liberation codes to whole files: a file is
-// striped into k data shards plus P and Q shards, any two of which may be
-// lost (or silently corrupted — detected via per-shard checksums) while
-// the file remains recoverable. It is the library behind the raidcli
-// tool and doubles as an end-to-end exercise of the public coding API.
+// Package shard applies the registry's erasure codes to whole files: a
+// file is striped into k data shards plus the code's m parity shards
+// (P and Q for the RAID-6 families), any m of which may be lost (or
+// silently corrupted — detected via per-shard checksums) while the file
+// remains recoverable. It is the library behind the raidcli tool and
+// doubles as an end-to-end exercise of the public coding API.
 //
 // The data path is streaming in both directions. Encoding overlaps
 // read → encode → write through a double-buffered batch pipeline (a
 // reader goroutine fills batch N+1 while the worker pool encodes batch N
 // and a writer goroutine drains batch N-1), and decoding/repair read all
-// k+2 shards stripe-by-stripe through per-shard file readers. Peak
+// k+m shards stripe-by-stripe through per-shard file readers. Peak
 // memory is O(batch × stripe) regardless of file size; shard health is
 // decided up front by a cheap stat+checksum probe and re-verified
 // incrementally by rolling CRCs while the stripes stream through.
@@ -62,15 +63,20 @@ func manifestCode(m *Manifest, reg *obs.Registry) (core.Code, error) {
 		return nil, fmt.Errorf("%w: code %q has %d elements per strip, manifest says %d",
 			ErrManifest, m.Code, code.W(), m.widthElems())
 	}
+	if code.M() != m.M {
+		return nil, fmt.Errorf("%w: code %q has %d parity shards, manifest says %d",
+			ErrManifest, m.Code, code.M(), m.M)
+	}
 	return code, nil
 }
 
-// FormatVersion identifies the manifest/shard layout. Version 3 adds an
-// optional placement block recording which simulated node each shard
-// landed on; version 2 records the erasure code by registry name
-// together with its strip width; version 1 manifests (implicitly
-// Liberation) still load, as do version 2 manifests (no placement).
-const FormatVersion = 3
+// FormatVersion identifies the manifest/shard layout. Version 4 records
+// the code's parity count m (earlier versions are implicitly m = 2);
+// version 3 adds an optional placement block recording which simulated
+// node each shard landed on; version 2 records the erasure code by
+// registry name together with its strip width; version 1 manifests
+// (implicitly Liberation) still load, as do version 2 and 3 manifests.
+const FormatVersion = 4
 
 // DefaultBatchStripes is the pipeline batch size used when
 // Options.BatchStripes is zero. It bounds the streaming paths' resident
@@ -205,9 +211,10 @@ func addGauge(reg *obs.Registry, name string, delta float64) {
 }
 
 // Manifest describes an encoded shard set. It is stored as JSON next to
-// the shards. Version 2 names the erasure code (a codes registry name)
-// and its strip width W; version 1 predates the registry and implies
-// the Liberation code with W = P.
+// the shards. Version 4 records the parity count M (earlier versions
+// imply M = 2); version 2 names the erasure code (a codes registry
+// name) and its strip width W; version 1 predates the registry and
+// implies the Liberation code with W = P.
 type Manifest struct {
 	Version int    `json:"version"`
 	Code    string `json:"code"` // codes registry name, e.g. "liberation"
@@ -215,6 +222,9 @@ type Manifest struct {
 	// P is the prime parameter of the array codes (0 for codes without
 	// one, or when it was auto-selected at encode time).
 	P int `json:"p"`
+	// M is the number of parity shards. Absent before version 4, where
+	// every code was RAID-6 and it equals 2.
+	M int `json:"m,omitempty"`
 	// W is the number of elements per strip. Absent in version 1
 	// manifests, where it equals P.
 	W        int    `json:"w,omitempty"`
@@ -223,7 +233,7 @@ type Manifest struct {
 	FileSize int64  `json:"file_size"`
 	Stripes  int    `json:"stripes"`
 	// Checksums holds one CRC-32 (IEEE) per shard, indexed by strip
-	// (0..k-1 data, k = P, k+1 = Q).
+	// (0..k-1 data, then the m parity shards: k = P, k+1 = Q, ...).
 	Checksums []uint32 `json:"checksums"`
 	// Placement, when present (version 3, encoded through a node-mapped
 	// store), records which simulated node each shard landed on.
@@ -241,17 +251,25 @@ type Placement struct {
 	Shards []int  `json:"shards"`
 }
 
-// ShardName returns the file name of strip i's shard.
+// ShardName returns the file name of strip i's shard. Data strips are
+// dNN, the first two parities keep their RAID-6 names p and q, and
+// parities beyond the second are rNN (numbered so that every shard of a
+// set has a distinct placement ordinal; see the nodestore spread policy).
 func (m *Manifest) ShardName(i int) string {
 	switch {
 	case i == m.K:
 		return fmt.Sprintf("%s.shard.p", m.FileName)
 	case i == m.K+1:
 		return fmt.Sprintf("%s.shard.q", m.FileName)
+	case i > m.K+1:
+		return fmt.Sprintf("%s.shard.r%02d", m.FileName, i-2)
 	default:
 		return fmt.Sprintf("%s.shard.d%02d", m.FileName, i)
 	}
 }
+
+// NumShards returns the total shard count, k + m.
+func (m *Manifest) NumShards() int { return m.K + m.M }
 
 // ManifestName returns the manifest file name for a given input name.
 func ManifestName(fileName string) string { return fileName + ".manifest.json" }
@@ -289,7 +307,8 @@ func loadManifest(st store.Store, path string) (*Manifest, error) {
 				ErrManifest, m.Code)
 		}
 		m.W = m.P
-	case 2, FormatVersion:
+		m.M = 2
+	case 2, 3, FormatVersion:
 		if !codes.Known(m.Code) {
 			return nil, fmt.Errorf("%w: unknown code %q (registered: %s)",
 				ErrManifest, m.Code, strings.Join(codes.Names(), ", "))
@@ -297,20 +316,26 @@ func loadManifest(st store.Store, path string) (*Manifest, error) {
 		if m.W <= 0 {
 			return nil, fmt.Errorf("%w: missing strip width", ErrManifest)
 		}
+		if m.Version < FormatVersion {
+			// Every pre-v4 code was RAID-6.
+			m.M = 2
+		} else if m.M < 1 {
+			return nil, fmt.Errorf("%w: missing parity count", ErrManifest)
+		}
 	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrManifest, m.Version)
 	}
-	if len(m.Checksums) != m.K+2 {
+	if len(m.Checksums) != m.NumShards() {
 		return nil, fmt.Errorf("%w: %d checksums, want %d",
-			ErrManifest, len(m.Checksums), m.K+2)
+			ErrManifest, len(m.Checksums), m.NumShards())
 	}
 	if pl := m.Placement; pl != nil {
 		if pl.Nodes < 1 {
 			return nil, fmt.Errorf("%w: placement with %d nodes", ErrManifest, pl.Nodes)
 		}
-		if len(pl.Shards) != m.K+2 {
+		if len(pl.Shards) != m.NumShards() {
 			return nil, fmt.Errorf("%w: placement maps %d shards, want %d",
-				ErrManifest, len(pl.Shards), m.K+2)
+				ErrManifest, len(pl.Shards), m.NumShards())
 		}
 		for i, n := range pl.Shards {
 			if n < 0 || n >= pl.Nodes {
@@ -377,8 +402,8 @@ func probeShards(ctx context.Context, m *Manifest, dir string, st store.Store,
 	}
 	_, shardSize := m.shardShape()
 	buf := make([]byte, probeBufSize)
-	files = make([]store.File, m.K+2)
-	status = make([]ShardStatus, m.K+2)
+	files = make([]store.File, m.NumShards())
+	status = make([]ShardStatus, m.NumShards())
 	for i := range status {
 		status[i] = ShardStatus{Index: i, Name: m.ShardName(i), State: StateOK, Node: -1}
 		if mapper != nil {
@@ -453,9 +478,9 @@ func countShardOp(reg *obs.Registry, op, code string) {
 
 // Verify probes the shard set's health without decoding anything. It
 // returns nil when every shard is clean, a *DegradedError when at most
-// two shards are unusable (recovery would succeed), and an
+// m shards are unusable (recovery would succeed), and an
 // *UnrecoverableError when the set is lost. Checksum-corrupt-but-present
-// shards beyond the two-erasure budget still count as recoverable: the
+// shards beyond the m-erasure budget still count as recoverable: the
 // correction path can heal per-stripe single-column corruption.
 func Verify(manifestPath string, opt Options) (err error) {
 	ctx, sp := obs.StartOp(opt.context(), opt.Tracer, opt.Registry, "shard.verify",
@@ -480,12 +505,12 @@ func Verify(manifestPath string, opt Options) (err error) {
 	switch {
 	case len(hard) == 0 && len(soft) == 0:
 		return nil
-	case len(hard) > 2:
+	case len(hard) > m.M:
 		return &UnrecoverableError{Status: status,
-			Reason: fmt.Sprintf("%d shards beyond repair, can tolerate 2", len(hard))}
-	case len(hard) > 0 && len(hard)+len(soft) > 2:
+			Reason: fmt.Sprintf("%d shards beyond repair, can tolerate %d", len(hard), m.M)}
+	case len(hard) > 0 && len(hard)+len(soft) > m.M:
 		return &UnrecoverableError{Status: status,
-			Reason: fmt.Sprintf("%d shards unusable, can tolerate 2", len(hard)+len(soft))}
+			Reason: fmt.Sprintf("%d shards unusable, can tolerate %d", len(hard)+len(soft), m.M)}
 	default:
 		return &DegradedError{Status: status}
 	}

@@ -16,9 +16,9 @@ const (
 	// PolicyRoundRobin deals paths to nodes in first-sight order.
 	PolicyRoundRobin = "round-robin"
 	// PolicySpread places the shards of one stripe set on consecutive
-	// nodes starting at a hash of the base name, so with Nodes ≥ k+2 no
-	// two shards of a file share a fault domain — a single node outage
-	// costs at most one shard, and two outages cost at most two.
+	// nodes starting at a hash of the base name, so with Nodes ≥ k+m no
+	// two shards of a file share a fault domain — each node outage costs
+	// at most one shard of the set.
 	PolicySpread = "spread"
 )
 
@@ -60,8 +60,11 @@ func spreadNode(path string, total int) int {
 
 // splitShardName splits a shard file name into its stripe-set name and
 // an ordinal: data shards count from 2 ("x.shard.d0" → 2), parity P and
-// Q take 0 and 1, and anything else (the manifest, temp files) sticks
-// with ordinal 0 under its full name.
+// Q take 0 and 1, extra parities of an m>2 code continue where the data
+// shards stop ("x.shard.rN" → 2+N, and the shard layer numbers them
+// from k so the ordinals 0..k+m-1 of one set are all distinct), and
+// anything else (the manifest, temp files) sticks with ordinal 0 under
+// its full name.
 func splitShardName(base string) (string, int) {
 	// A repair temp file must place like the shard it will be renamed
 	// to, or the heal would migrate the shard to a colliding node.
@@ -73,7 +76,7 @@ func splitShardName(base string) (string, int) {
 			return set, 0
 		case suffix == "q":
 			return set, 1
-		case strings.HasPrefix(suffix, "d"):
+		case strings.HasPrefix(suffix, "d") || strings.HasPrefix(suffix, "r"):
 			if v, err := strconv.Atoi(suffix[1:]); err == nil && v >= 0 {
 				return set, 2 + v
 			}

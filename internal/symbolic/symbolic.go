@@ -17,27 +17,30 @@ import (
 // Stripe is a symbolic stripe: element (col, row) holds a bit vector over
 // the kw data bits, stored as one row of a bit matrix.
 type Stripe struct {
-	K, W int
-	// vecs has (K+2)*W rows of kw columns; element (col,row) is row
+	K, M, W int
+	// vecs has (K+M)*W rows of kw columns; element (col,row) is row
 	// col*W+row.
 	vecs *bitmatrix.Matrix
 }
 
 // NewStripe returns the symbolic stripe of a freshly encoded array: data
 // element (j, i) is the unit vector e_{j*w+i}, and the parity elements
-// hold the generator rows (P bits first, then Q bits).
+// hold the generator rows (P bits first, then Q bits for the RAID-6
+// generators). The parity count m is taken from the generator's height,
+// which must be a multiple of w.
 func NewStripe(k, w int, gen *bitmatrix.Matrix) (*Stripe, error) {
-	if gen.R != 2*w || gen.C != k*w {
-		return nil, fmt.Errorf("symbolic: generator is %dx%d, want %dx%d",
-			gen.R, gen.C, 2*w, k*w)
+	if gen.R < w || gen.R%w != 0 || gen.C != k*w {
+		return nil, fmt.Errorf("symbolic: generator is %dx%d, want m*%d x %d",
+			gen.R, gen.C, w, k*w)
 	}
-	s := &Stripe{K: k, W: w, vecs: bitmatrix.New((k+2)*w, k*w)}
+	m := gen.R / w
+	s := &Stripe{K: k, M: m, W: w, vecs: bitmatrix.New((k+m)*w, k*w)}
 	for j := 0; j < k; j++ {
 		for i := 0; i < w; i++ {
 			s.vecs.Set(j*w+i, j*w+i, true)
 		}
 	}
-	for b := 0; b < 2*w; b++ {
+	for b := 0; b < m*w; b++ {
 		s.vecs.CopyRowFrom((k+b/w)*w+b%w, gen, b)
 	}
 	return s, nil
@@ -77,7 +80,7 @@ func (s *Stripe) CheckIntact(gen *bitmatrix.Matrix) error {
 	if err != nil {
 		return err
 	}
-	for col := 0; col < s.K+2; col++ {
+	for col := 0; col < s.K+s.M; col++ {
 		for i := 0; i < s.W; i++ {
 			r := s.row(col, i)
 			if bitmatrix.RowDistance(s.vecs, r, want.vecs, r) != 0 {
@@ -96,8 +99,9 @@ func VerifyEncode(k, w int, gen *bitmatrix.Matrix, sch bitmatrix.Schedule) error
 		return err
 	}
 	// Scrub the parities: encode must rebuild them from data alone.
-	s.Erase(k)
-	s.Erase(k + 1)
+	for t := 0; t < s.M; t++ {
+		s.Erase(k + t)
+	}
 	s.Run(sch)
 	return s.CheckIntact(gen)
 }
